@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark reports two times:
+
+* the *wall-clock* time pytest-benchmark measures for running the whole simulation
+  (useful to track the cost of the simulator itself), and
+* the *modelled elapsed time* of the simulated execution (critical-path virtual time),
+  stored in ``benchmark.extra_info["model_seconds"]`` — this is the quantity that
+  corresponds to the y-axis of the paper's figures and the one recorded in
+  EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-figures",
+        action="store_true",
+        default=False,
+        help="run the full-size user sweeps of the paper (slower); default runs a "
+        "reduced but shape-preserving sweep",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_figures(request):
+    return request.config.getoption("--full-figures")

@@ -1,0 +1,100 @@
+"""Ablation — where does the framework's overhead go? (supports the §6.2 discussion).
+
+The paper attributes the distributed double auction's overhead to communication, and
+notes that it grows with the number of users because more bid data is exchanged.
+These benchmarks decompose one simulated round into its building blocks (bid
+agreement, input validation, common coin) by message count and bytes, and compare the
+cost of the three bid-agreement modes.
+"""
+
+import pytest
+
+from repro.auctions.double_auction import DoubleAuction
+from repro.bench.harness import default_latency_model
+from repro.community.workload import DoubleAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.core.framework import DistributedAuctioneer
+
+PROVIDERS = [f"p{i:02d}" for i in range(8)]
+
+
+def run_round(num_users, agreement_mode="batched", use_common_coin=True, k=1):
+    bids = DoubleAuctionWorkload(seed=7).generate(num_users, len(PROVIDERS), provider_ids=PROVIDERS)
+    auctioneer = DistributedAuctioneer(
+        DoubleAuction(),
+        providers=PROVIDERS[: 2 * k + 1],
+        config=FrameworkConfig(
+            k=k, agreement_mode=agreement_mode, use_common_coin=use_common_coin
+        ),
+        latency_model=default_latency_model(),
+        seed=1,
+        measure_compute=True,
+    )
+    return auctioneer.run_from_bids(bids)
+
+
+def blocks_breakdown(report):
+    """Aggregate per-block message counts from the tag statistics."""
+    breakdown = {"bid_agreement": 0, "input_validation": 0, "common_coin": 0, "other": 0}
+    for path, count in report.stats.messages_by_tag.items():
+        if "/ba" in path or path.endswith("ba"):
+            breakdown["bid_agreement"] += count
+        elif "iv" in path:
+            breakdown["input_validation"] += count
+        elif "coin" in path:
+            breakdown["common_coin"] += count
+        else:
+            breakdown["other"] += count
+    return breakdown
+
+
+class TestBlockBreakdown:
+    @pytest.mark.parametrize("num_users", (50, 200, 800))
+    def test_bid_agreement_dominates_traffic(self, benchmark, num_users):
+        report = benchmark.pedantic(run_round, args=(num_users,), rounds=1, iterations=1)
+        breakdown = blocks_breakdown(report)
+        benchmark.extra_info["users"] = num_users
+        benchmark.extra_info["model_seconds"] = report.outcome.elapsed_time
+        benchmark.extra_info["messages_by_block"] = breakdown
+        benchmark.extra_info["bytes"] = report.outcome.bytes_transferred
+        assert not report.aborted
+        # The bid agreement carries the bid vectors; validation and the coin are
+        # constant-size.  It must dominate the byte volume-driven message pattern.
+        assert breakdown["bid_agreement"] >= breakdown["input_validation"]
+        assert breakdown["bid_agreement"] >= breakdown["common_coin"]
+
+    def test_traffic_grows_with_users(self):
+        small = run_round(50)
+        large = run_round(800)
+        assert large.outcome.bytes_transferred > 4 * small.outcome.bytes_transferred
+
+
+class TestCommonCoinCost:
+    def test_skipping_the_coin_saves_a_round(self, benchmark):
+        with_coin = run_round(100, use_common_coin=True)
+        without_coin = benchmark.pedantic(
+            run_round, args=(100,), kwargs={"use_common_coin": False}, rounds=1, iterations=1
+        )
+        benchmark.extra_info["model_seconds"] = without_coin.outcome.elapsed_time
+        assert not without_coin.aborted
+        assert without_coin.outcome.messages < with_coin.outcome.messages
+        assert without_coin.result == with_coin.result  # deterministic mechanism
+
+
+class TestAgreementModes:
+    @pytest.mark.parametrize("mode", ("batched", "per_label"))
+    def test_mode_cost(self, benchmark, mode):
+        report = benchmark.pedantic(
+            run_round, args=(20,), kwargs={"agreement_mode": mode}, rounds=1, iterations=1
+        )
+        benchmark.extra_info["mode"] = mode
+        benchmark.extra_info["messages"] = report.outcome.messages
+        benchmark.extra_info["model_seconds"] = report.outcome.elapsed_time
+        assert not report.aborted
+
+    def test_batched_mode_sends_far_fewer_messages(self):
+        batched = run_round(20, agreement_mode="batched")
+        per_label = run_round(20, agreement_mode="per_label")
+        assert batched.outcome.messages * 5 < per_label.outcome.messages
+        # Both modes agree on the same outcome.
+        assert batched.result == per_label.result

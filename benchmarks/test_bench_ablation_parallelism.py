@@ -1,0 +1,83 @@
+"""Ablation — speed-up of the parallel allocator vs the level of parallelism p.
+
+Supports the §6.3 discussion: the payment phase of the standard auction is
+embarrassingly parallel, so with m = 8 providers the modelled running time should
+drop as p grows (p = ⌊m/(k+1)⌋), while the result stays identical.  Also measures the
+price of resilience: for a fixed provider pool, larger k means fewer groups and less
+parallelism.
+"""
+
+import pytest
+
+from repro.auctions.standard_auction import StandardAuction
+from repro.bench.harness import Figure5Experiment, default_latency_model
+from repro.community.workload import StandardAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.core.framework import DistributedAuctioneer
+
+PROVIDERS = [f"p{i:02d}" for i in range(8)]
+NUM_USERS = 60
+EPSILON = 0.25
+
+_experiment = Figure5Experiment(epsilon=EPSILON, seed=11)
+
+
+def run_parallel(num_groups, k):
+    bids = StandardAuctionWorkload(seed=11).generate(
+        NUM_USERS, len(PROVIDERS), provider_ids=PROVIDERS
+    )
+    auctioneer = DistributedAuctioneer(
+        StandardAuction(epsilon=EPSILON),
+        providers=PROVIDERS,
+        config=FrameworkConfig(k=k, parallel=True, num_groups=num_groups),
+        latency_model=default_latency_model(),
+        seed=3,
+        measure_compute=True,
+    )
+    return auctioneer.run_from_bids(bids)
+
+
+class TestParallelismSweep:
+    @pytest.mark.parametrize("num_groups,k", [(1, 7), (2, 3), (4, 1), (8, 0)])
+    def test_group_count(self, benchmark, num_groups, k):
+        if k == 7:
+            # m > 2k fails for k=7; this configuration is the "no parallelism but
+            # still replicated" corner, run without the quorum guard.
+            config = FrameworkConfig(k=k, parallel=True, num_groups=num_groups, require_quorum=False)
+            bids = StandardAuctionWorkload(seed=11).generate(
+                NUM_USERS, len(PROVIDERS), provider_ids=PROVIDERS
+            )
+            auctioneer = DistributedAuctioneer(
+                StandardAuction(epsilon=EPSILON),
+                providers=PROVIDERS,
+                config=config,
+                latency_model=default_latency_model(),
+                seed=3,
+                measure_compute=True,
+            )
+            report = benchmark.pedantic(
+                auctioneer.run_from_bids, args=(bids,), rounds=1, iterations=1
+            )
+        else:
+            report = benchmark.pedantic(
+                run_parallel, args=(num_groups, k), rounds=1, iterations=1
+            )
+        benchmark.extra_info["groups"] = num_groups
+        benchmark.extra_info["k"] = k
+        benchmark.extra_info["model_seconds"] = report.outcome.elapsed_time
+        assert not report.aborted
+
+    def test_more_groups_is_faster_and_result_invariant(self):
+        one = run_parallel(1, 3)
+        two = run_parallel(2, 3)
+        four = run_parallel(4, 1)
+        assert four.outcome.elapsed_time < one.outcome.elapsed_time
+        assert two.outcome.elapsed_time < one.outcome.elapsed_time
+        assert one.result == two.result == four.result
+
+    def test_resilience_costs_parallelism(self):
+        """For the same provider pool, tolerating bigger coalitions reduces the
+        achievable parallelism and therefore increases modelled running time."""
+        k1 = run_parallel(4, 1)   # p = 4 with k = 1
+        k3 = run_parallel(2, 3)   # p = 2 with k = 3
+        assert k1.outcome.elapsed_time < k3.outcome.elapsed_time

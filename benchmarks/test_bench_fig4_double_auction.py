@@ -1,0 +1,67 @@
+"""Figure 4 — running time of the double auction vs number of users (§6.2).
+
+Series: centralised auctioneer, and the distributed simulation with m = 8 providers
+and k ∈ {1, 2, 3} (3, 5 and 7 providers executing the protocol — the minimum 2k+1).
+The paper's qualitative findings that must hold here:
+
+* the distributed simulation is slower than the centralised one (pure coordination
+  overhead — the double auction itself is cheap);
+* the overhead grows with the number of users, because the bid vectors exchanged
+  between providers grow;
+* the overhead grows with k (more providers execute the protocol);
+* even at n = 1000 the distributed execution stays around/below a second.
+
+Each benchmark measures one full simulated round; the modelled elapsed time (the
+paper's metric) is attached as ``extra_info["model_seconds"]``.
+"""
+
+import pytest
+
+from repro.bench.harness import Figure4Experiment
+
+N_VALUES = (100, 250, 500, 1000)
+K_VALUES = (1, 2, 3)
+
+_experiment = Figure4Experiment(n_values=N_VALUES, k_values=K_VALUES, seed=42)
+
+
+@pytest.mark.parametrize("num_users", N_VALUES)
+def test_fig4_centralised(benchmark, num_users):
+    point = benchmark.pedantic(
+        _experiment.run_centralized_point, args=(num_users,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["figure"] = "fig4"
+    benchmark.extra_info["series"] = point.series
+    benchmark.extra_info["users"] = num_users
+    benchmark.extra_info["model_seconds"] = point.elapsed_seconds
+    assert not point.aborted
+
+
+@pytest.mark.parametrize("num_users", N_VALUES)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig4_distributed(benchmark, num_users, k):
+    point = benchmark.pedantic(
+        _experiment.run_distributed_point, args=(num_users, k), rounds=1, iterations=1
+    )
+    benchmark.extra_info["figure"] = "fig4"
+    benchmark.extra_info["series"] = point.series
+    benchmark.extra_info["users"] = num_users
+    benchmark.extra_info["model_seconds"] = point.elapsed_seconds
+    benchmark.extra_info["messages"] = point.messages
+    benchmark.extra_info["bytes"] = point.bytes_transferred
+    assert not point.aborted
+    # Shape check vs the paper: the distributed round costs more than the
+    # centralised one, but remains well under a second of modelled time.
+    central = _experiment.run_centralized_point(num_users)
+    assert point.elapsed_seconds > central.elapsed_seconds
+    assert point.elapsed_seconds < 2.0
+
+
+def test_fig4_overhead_grows_with_users_and_k():
+    """The two monotonicity claims of §6.2, checked end-to-end in one go."""
+    small_k1 = _experiment.run_distributed_point(100, 1)
+    large_k1 = _experiment.run_distributed_point(1000, 1)
+    large_k3 = _experiment.run_distributed_point(1000, 3)
+    assert large_k1.elapsed_seconds > small_k1.elapsed_seconds
+    assert large_k3.elapsed_seconds > large_k1.elapsed_seconds
+    assert large_k3.messages > large_k1.messages

@@ -1,0 +1,34 @@
+"""Regenerate Figure 4 (running time of the double auction) as a text table.
+
+Equivalent to ``repro-auction fig4``; kept as a script so the experiment parameters
+are visible and editable in one place.  Use ``--quick`` for a reduced sweep.
+
+Run with::
+
+    python examples/experiment_fig4.py [--quick]
+"""
+
+import argparse
+
+from repro.bench import Figure4Experiment, format_points, format_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced user sweep")
+    args = parser.parse_args()
+
+    n_values = (100, 300, 600) if args.quick else (100, 200, 400, 600, 800, 1000)
+    experiment = Figure4Experiment(n_values=n_values, k_values=(1, 2, 3), seed=42)
+    points = experiment.run()
+
+    print("Figure 4 — double auction running time (model seconds) vs number of users")
+    print("Series: centralised vs distributed with m=8 sellers, k in {1,2,3} "
+          "(3/5/7 providers executing)\n")
+    print(format_series(points))
+    print()
+    print(format_points(points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Regenerate Figure 5 (running time of the standard auction) as a text table.
+
+Equivalent to ``repro-auction fig5``; kept as a script so the experiment parameters
+are visible and editable in one place.  Use ``--quick`` for a reduced sweep.
+
+Run with::
+
+    python examples/experiment_fig5.py [--quick]
+"""
+
+import argparse
+
+from repro.bench import Figure5Experiment, format_points, format_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced user sweep")
+    parser.add_argument("--epsilon", type=float, default=0.25, help="accuracy/effort knob")
+    args = parser.parse_args()
+
+    n_values = (25, 50, 75) if args.quick else (25, 50, 75, 100, 125)
+    experiment = Figure5Experiment(
+        n_values=n_values, p_values=(1, 2, 4), epsilon=args.epsilon, seed=42
+    )
+    points = experiment.run()
+
+    print("Figure 5 — standard auction running time (model seconds) vs number of users")
+    print("Series: p=1 (centralised), p=2 (k=3), p=4 (k=1), with m=8 providers\n")
+    print(format_series(points))
+    print()
+    print(format_points(points))
+
+
+if __name__ == "__main__":
+    main()

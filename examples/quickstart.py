@@ -1,0 +1,63 @@
+"""Quickstart: run one distributed double auction among 4 gateway providers.
+
+This is the smallest end-to-end use of the public API:
+
+1. describe the users' bids and the providers' asks (a ``BidVector``);
+2. build a ``DistributedAuctioneer`` for the mechanism and the provider set;
+3. run the simulated protocol and read the agreed allocation and payments.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.auctions import BidVector, DoubleAuction, ProviderAsk, UserBid
+from repro.core import DistributedAuctioneer, FrameworkConfig
+
+
+def main() -> None:
+    # Four community-network members ask for bandwidth at the gateways; their bids
+    # say how much they value one unit of bandwidth and how much they need.
+    users = (
+        UserBid("alice", unit_value=1.20, demand=0.6),
+        UserBid("bob", unit_value=1.05, demand=0.4),
+        UserBid("carol", unit_value=0.95, demand=0.8),
+        UserBid("dave", unit_value=0.80, demand=0.5),
+    )
+    # Four gateway owners (the providers) declare their unit cost and capacity.
+    providers = (
+        ProviderAsk("gw-campus", unit_cost=0.20, capacity=0.7),
+        ProviderAsk("gw-hangar", unit_cost=0.35, capacity=0.6),
+        ProviderAsk("gw-taradell", unit_cost=0.50, capacity=0.8),
+        ProviderAsk("gw-backup", unit_cost=0.75, capacity=1.0),
+    )
+    bids = BidVector(users, providers)
+
+    # No single gateway is trusted to run the auction: the four of them jointly
+    # simulate the auctioneer, tolerating coalitions of up to k=1 provider.
+    auctioneer = DistributedAuctioneer(
+        DoubleAuction(),
+        providers=[p.provider_id for p in providers],
+        config=FrameworkConfig(k=1),
+    )
+    report = auctioneer.run_from_bids(bids)
+
+    print(f"outcome      : {'ABORT' if report.aborted else 'agreed (x, p)'}")
+    print(f"messages     : {report.outcome.messages}")
+    result = report.result
+    print("\nallocation (user -> provider: amount):")
+    for user_id, provider_id, amount in result.allocation.entries:
+        print(f"  {user_id:>6s} -> {provider_id:<12s} {amount:.3f}")
+    print("\npayments:")
+    for user_id, payment in result.payments.user_payments:
+        if payment > 0:
+            print(f"  {user_id:>6s} pays     {payment:.3f}")
+    for provider_id, revenue in result.payments.provider_revenues:
+        if revenue > 0:
+            print(f"  {provider_id:>12s} receives {revenue:.3f}")
+    surplus = result.payments.total_paid - result.payments.total_received
+    print(f"\nbudget surplus (kept by the community): {surplus:.3f}")
+
+
+if __name__ == "__main__":
+    main()

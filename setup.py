@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e .`` works in fully offline environments (no ``wheel`` package, no
+network to fetch build isolation dependencies) by falling back to the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "A Distributed Auctioneer for Resource Allocation in
+Decentralized Systems" (Khan, Vilaça, Rodrigues, Freitag; ICDCS 2016).
+
+The package is organised in layers, bottom-up:
+
+``repro.net``
+    A simulated asynchronous message-passing runtime (turn-based, fair schedules,
+    reliable channels) plus a threaded in-process transport.  This is the substrate
+    on which all distributed protocols run.
+
+``repro.consensus``
+    Rational-agent consensus building blocks: hash commitments, bid/bit-stream
+    encoding, binary rational consensus with equivocation detection, and a
+    multi-instance wrapper used by the bid agreement.
+
+``repro.auctions``
+    The auction mechanisms the paper evaluates: a truthful budget-balanced double
+    auction (water-filling), a truthful (1-eps)-optimal standard auction with VCG
+    payments, an exact VCG baseline and a greedy baseline.
+
+``repro.core``
+    The paper's contribution: the distributed auctioneer framework — bid agreement,
+    input validation, common coin, data transfer, task graphs and the (parallel)
+    allocator, chained by :class:`repro.core.framework.DistributedAuctioneer`.
+
+``repro.runtime``
+    Provider / bidder roles and end-to-end auction round orchestration.
+
+``repro.adversary``
+    Coalition and fault-injection behaviours used to test k-resilience.
+
+``repro.gametheory``
+    Utilities, empirical truthfulness and resilience checks.
+
+``repro.community``
+    The community-network (Guifi-like) case study: topology and workload generators.
+
+``repro.bench``
+    The benchmark harness used to regenerate Figures 4 and 5 of the paper.
+"""
+
+from repro.auctions.base import (
+    Allocation,
+    AuctionResult,
+    BidVector,
+    Payments,
+    ProviderAsk,
+    UserBid,
+)
+from repro.core.framework import DistributedAuctioneer, FrameworkConfig
+from repro.core.outcome import ABORT, Outcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABORT",
+    "Allocation",
+    "AuctionResult",
+    "BidVector",
+    "DistributedAuctioneer",
+    "FrameworkConfig",
+    "Outcome",
+    "Payments",
+    "ProviderAsk",
+    "UserBid",
+    "__version__",
+]

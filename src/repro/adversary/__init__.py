@@ -1,0 +1,48 @@
+"""Adversarial behaviours for bidders and provider coalitions.
+
+The paper's guarantees are of two kinds: (i) bidders may behave arbitrarily — submit
+different bids to different providers, submit garbage, or stay silent — and the
+simulation still computes a correct outcome over the valid bids; (ii) coalitions of up
+to ``k`` *providers* cannot gain by deviating from the protocol (k-resilient
+equilibrium), and observable deviations drive the outcome to ⊥.
+
+This package provides reusable implementations of those misbehaviours so the test
+suite and the :mod:`repro.gametheory` harness can exercise them:
+
+* :mod:`repro.adversary.bidder_behaviors` — strategies plugged into
+  :class:`~repro.runtime.bidder.BidderNode`.
+* :mod:`repro.adversary.provider_behaviors` — deviating provider nodes built by
+  wrapping the honest protocol with message tampering, omission, input forgery or
+  output manipulation.
+* :mod:`repro.adversary.coalition` — helpers to apply a deviation to a chosen set of
+  providers inside a :class:`~repro.core.framework.DistributedAuctioneer` simulation.
+"""
+
+from repro.adversary.bidder_behaviors import (
+    InconsistentBidder,
+    InvalidBidder,
+    ScalingBidder,
+    SilentBidder,
+)
+from repro.adversary.coalition import Coalition, coalition_node_factory
+from repro.adversary.provider_behaviors import (
+    CrashingProviderNode,
+    EquivocatingProviderNode,
+    InputForgingProviderNode,
+    MessageDroppingProviderNode,
+    OutputTamperingProviderNode,
+)
+
+__all__ = [
+    "Coalition",
+    "CrashingProviderNode",
+    "EquivocatingProviderNode",
+    "InconsistentBidder",
+    "InputForgingProviderNode",
+    "InvalidBidder",
+    "MessageDroppingProviderNode",
+    "OutputTamperingProviderNode",
+    "ScalingBidder",
+    "SilentBidder",
+    "coalition_node_factory",
+]

@@ -1,0 +1,70 @@
+"""Misbehaving bidder strategies (Section 3.2: "bidders may adopt arbitrary behaviours").
+
+Each strategy implements :class:`~repro.runtime.bidder.BidderStrategy` and can be
+attached to any user in an :class:`~repro.runtime.auction_run.AuctionRun`.  The bid
+agreement must neutralise all of them: an inconsistent bidder ends up with one of the
+bids it sent (or a neutral bid), an invalid or silent bidder ends up with the neutral
+bid, and — critically — the bids of *correct* users are never affected (validity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.auctions.base import UserBid
+from repro.runtime.bidder import BidderStrategy
+
+__all__ = ["InconsistentBidder", "SilentBidder", "InvalidBidder", "ScalingBidder"]
+
+
+class InconsistentBidder(BidderStrategy):
+    """Sends a different bid to each provider (equivocation at the bidding layer).
+
+    The bid sent to provider ``i`` (in sorted order) has its unit value scaled by
+    ``factors[i % len(factors)]``, so no two providers necessarily see the same bid.
+    """
+
+    def __init__(self, factors: Sequence[float] = (0.5, 1.0, 1.5, 2.0)) -> None:
+        if not factors:
+            raise ValueError("need at least one scaling factor")
+        self.factors = tuple(factors)
+        self._assigned: dict = {}
+
+    def bid_for_provider(self, true_bid: UserBid, provider_id: str) -> Optional[Any]:
+        index = self._assigned.setdefault(provider_id, len(self._assigned))
+        factor = self.factors[index % len(self.factors)]
+        return true_bid.with_unit_value(true_bid.unit_value * factor)
+
+
+class SilentBidder(BidderStrategy):
+    """Never submits anything; the provider substitutes ⊥ and then a neutral bid."""
+
+    def bid_for_provider(self, true_bid: UserBid, provider_id: str) -> Optional[Any]:
+        return None
+
+
+class InvalidBidder(BidderStrategy):
+    """Submits structurally broken payloads (wrong type, non-finite numbers)."""
+
+    def __init__(self, payload: Any = "not-a-bid") -> None:
+        self.payload = payload
+
+    def bid_for_provider(self, true_bid: UserBid, provider_id: str) -> Optional[Any]:
+        return self.payload
+
+
+class ScalingBidder(BidderStrategy):
+    """Consistently misreports its value by a multiplicative factor (to all providers).
+
+    This is the canonical *lying* bidder used by the truthfulness checks: it sends the
+    same (untruthful) bid everywhere, so the bid agreement preserves it and the
+    mechanism's incentive properties are what protects the outcome.
+    """
+
+    def __init__(self, factor: float) -> None:
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        self.factor = factor
+
+    def bid_for_provider(self, true_bid: UserBid, provider_id: str) -> Optional[Any]:
+        return true_bid.with_unit_value(true_bid.unit_value * self.factor)

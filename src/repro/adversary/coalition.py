@@ -1,0 +1,62 @@
+"""Coalitions: apply a deviating implementation to a chosen set of providers.
+
+The k-resilience notion of the paper quantifies over *coalitions* ``K`` of at most
+``k`` providers that jointly switch to an arbitrary protocol.  In the simulator a
+coalition is simply a set of provider ids plus a factory that builds the deviating
+node for members, while non-members keep the honest implementation.  The resulting
+factory plugs directly into :meth:`repro.core.framework.DistributedAuctioneer.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable
+
+from repro.core.provider_protocol import FrameworkProviderNode
+
+__all__ = ["Coalition", "coalition_node_factory"]
+
+#: Signature shared by the honest node constructor and deviating node constructors:
+#: (provider_input, algorithm, config, expected_users, providers) -> Node.
+NodeFactory = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class Coalition:
+    """A set of colluding providers and the deviation they jointly run.
+
+    Attributes:
+        members: ids of the colluding providers.
+        deviant_factory: constructor used for members (same signature as the honest
+            :class:`~repro.core.provider_protocol.FrameworkProviderNode`).
+    """
+
+    members: FrozenSet[str]
+    deviant_factory: NodeFactory
+
+    @staticmethod
+    def of(members: Iterable[str], deviant_factory: NodeFactory) -> "Coalition":
+        return Coalition(frozenset(members), deviant_factory)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def factory(self) -> NodeFactory:
+        """The node factory to pass to ``DistributedAuctioneer.run(node_factory=...)``."""
+        return coalition_node_factory(self)
+
+
+def coalition_node_factory(coalition: Coalition) -> NodeFactory:
+    """Build a node factory: deviant nodes for members, honest nodes for the rest."""
+
+    def factory(provider_input, algorithm, config, expected_users, providers):
+        if provider_input.provider_id in coalition.members:
+            return coalition.deviant_factory(
+                provider_input, algorithm, config, expected_users, providers
+            )
+        return FrameworkProviderNode(
+            provider_input, algorithm, config, expected_users, providers
+        )
+
+    return factory

@@ -1,0 +1,49 @@
+"""Interface for mechanisms whose execution can be decomposed into parallel tasks.
+
+Algorithm 1 of the paper splits the standard auction into three steps: (1) compute
+the allocation, (2) compute the payment of every user — independent per user and
+therefore parallelisable across groups of providers — and (3) gather the results.
+The parallel allocator (:mod:`repro.core.allocator`) can run *any* mechanism that
+exposes this structure; the interface below is what it needs.
+
+All methods must be deterministic functions of their arguments (including the seed),
+because different provider groups independently recompute pieces of the result and the
+data-transfer block aborts if they disagree.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence, Tuple
+
+from repro.auctions.base import Allocation, AuctionResult, BidVector, Payments
+
+__all__ = ["DecomposableMechanism"]
+
+
+class DecomposableMechanism(abc.ABC):
+    """A mechanism that exposes the allocation / per-user payments / assemble split."""
+
+    @abc.abstractmethod
+    def solve_allocation(self, bids: BidVector, seed: int) -> Tuple[Allocation, float]:
+        """Step 1: compute the allocation (and its declared social welfare)."""
+
+    @abc.abstractmethod
+    def payments_for_users(
+        self,
+        bids: BidVector,
+        user_ids: Sequence[str],
+        allocation: Allocation,
+        welfare: float,
+        seed: int,
+    ) -> Dict[str, float]:
+        """Step 2: compute the payments of a subset of users, given the allocation."""
+
+    @abc.abstractmethod
+    def assemble(
+        self,
+        bids: BidVector,
+        allocation: Allocation,
+        user_payments: Dict[str, float],
+    ) -> AuctionResult:
+        """Step 3: combine the allocation and all payment fragments into the result."""

@@ -1,0 +1,75 @@
+"""Payment rules shared by the standard-auction mechanisms.
+
+The standard auction of §5.2.2 uses the VCG (Clarke pivot) payment rule on top of a
+(near-)welfare-maximising allocation rule: a winner pays the externality it imposes on
+the other users, i.e. the welfare the others would obtain if the winner were absent
+minus the welfare the others obtain in the chosen allocation.  Losers pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from repro.auctions.base import Allocation, BidVector
+
+__all__ = ["clarke_pivot_payment", "clarke_pivot_payments", "others_welfare"]
+
+
+def others_welfare(bids: BidVector, allocation: Allocation, excluded_user: str) -> float:
+    """Declared welfare of every user except ``excluded_user`` under ``allocation``."""
+    total = 0.0
+    for user in bids.users:
+        if user.user_id == excluded_user:
+            continue
+        total += user.unit_value * allocation.user_total(user.user_id)
+    return total
+
+
+def clarke_pivot_payment(
+    bids: BidVector,
+    allocation: Allocation,
+    user_id: str,
+    welfare_without_user: float,
+) -> float:
+    """VCG payment of one user.
+
+    Args:
+        bids: the declared bid vector.
+        allocation: the allocation chosen when everyone participates.
+        user_id: the user whose payment is computed.
+        welfare_without_user: the welfare of the allocation the mechanism would pick
+            if ``user_id`` did not participate (the "pivot" term); callers obtain it
+            by re-running the allocation rule on ``bids.without_user(user_id)``.
+
+    Returns:
+        ``max(0, welfare_without_user - others_welfare_in_chosen_allocation)``.
+        The ``max`` guards against a (slightly) sub-optimal approximate allocation
+        rule producing negative payments; with an exact rule the clamp never binds.
+    """
+    welfare_others_now = others_welfare(bids, allocation, user_id)
+    return max(0.0, welfare_without_user - welfare_others_now)
+
+
+def clarke_pivot_payments(
+    bids: BidVector,
+    allocation: Allocation,
+    user_ids: Iterable[str],
+    welfare_without: Callable[[str], float],
+) -> Dict[str, float]:
+    """VCG payments for a set of users; losers get a zero payment.
+
+    Args:
+        welfare_without: callback returning, for a user id, the welfare of the
+            allocation computed without that user (typically an expensive re-solve —
+            this is exactly the work the parallel allocator distributes).
+    """
+    payments: Dict[str, float] = {}
+    winners = set(allocation.winners())
+    for user_id in user_ids:
+        if user_id not in winners:
+            payments[user_id] = 0.0
+            continue
+        payments[user_id] = clarke_pivot_payment(
+            bids, allocation, user_id, welfare_without(user_id)
+        )
+    return payments

@@ -1,0 +1,102 @@
+"""Bid validation and neutral bids.
+
+Bidders in a decentralized system "may adopt arbitrary behaviours such as submitting
+different bids to different providers or not submitting a bid" (Section 3.2).  The
+framework handles this by (a) the bid agreement, which resolves inconsistencies, and
+(b) substituting a *neutral bid* — one that excludes the bidder from the auction — for
+anything invalid or missing.  This module defines what "valid" means and produces the
+neutral substitutes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.auctions.base import BidVector, ProviderAsk, UserBid
+
+__all__ = [
+    "InvalidBidError",
+    "is_valid_user_bid",
+    "is_valid_provider_ask",
+    "neutral_user_bid",
+    "neutral_provider_ask",
+    "coerce_user_bid",
+    "sanitize_bid_vector",
+]
+
+
+class InvalidBidError(ValueError):
+    """Raised when a bid cannot be interpreted at all (wrong type or structure)."""
+
+
+def _is_finite_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and math.isfinite(value)
+
+
+def is_valid_user_bid(
+    bid: Any,
+    max_unit_value: float = 1e9,
+    max_demand: float = 1e9,
+) -> bool:
+    """A user bid is valid if its numeric fields are finite, positive and bounded."""
+    if not isinstance(bid, UserBid):
+        return False
+    if not _is_finite_number(bid.unit_value) or not _is_finite_number(bid.demand):
+        return False
+    if bid.unit_value < 0 or bid.unit_value > max_unit_value:
+        return False
+    if bid.demand <= 0 or bid.demand > max_demand:
+        return False
+    return True
+
+
+def is_valid_provider_ask(
+    ask: Any,
+    max_unit_cost: float = 1e9,
+    max_capacity: float = 1e12,
+) -> bool:
+    """A provider ask is valid if cost and capacity are finite and non-negative."""
+    if not isinstance(ask, ProviderAsk):
+        return False
+    if not _is_finite_number(ask.unit_cost) or not _is_finite_number(ask.capacity):
+        return False
+    if ask.unit_cost < 0 or ask.unit_cost > max_unit_cost:
+        return False
+    if ask.capacity < 0 or ask.capacity > max_capacity:
+        return False
+    return True
+
+
+def neutral_user_bid(user_id: str) -> UserBid:
+    """The pre-determined valid bid substituted for a missing/invalid user bid.
+
+    A zero unit value with an infinitesimal demand never wins anything and never
+    affects other users' payments in the mechanisms of this package, which is the
+    "excludes i from the auction" semantics of the paper's ⊥ substitution.
+    """
+    return UserBid(user_id=user_id, unit_value=0.0, demand=1e-9)
+
+
+def neutral_provider_ask(provider_id: str) -> ProviderAsk:
+    """Neutral ask: zero capacity, so the provider cannot trade."""
+    return ProviderAsk(provider_id=provider_id, unit_cost=0.0, capacity=0.0)
+
+
+def coerce_user_bid(user_id: str, candidate: Any) -> UserBid:
+    """Return ``candidate`` if it is a valid bid *for this user*, else the neutral bid."""
+    if is_valid_user_bid(candidate) and candidate.user_id == user_id:
+        return candidate
+    return neutral_user_bid(user_id)
+
+
+def sanitize_bid_vector(bids: BidVector) -> BidVector:
+    """Replace every invalid bid/ask in a vector by its neutral substitute."""
+    users = tuple(
+        bid if is_valid_user_bid(bid) else neutral_user_bid(bid.user_id) for bid in bids.users
+    )
+    providers = tuple(
+        ask if is_valid_provider_ask(ask) else neutral_provider_ask(ask.provider_id)
+        for ask in bids.providers
+    )
+    return BidVector(users, providers)

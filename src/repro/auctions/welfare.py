@@ -1,0 +1,83 @@
+"""Social welfare, utilities and budget accounting.
+
+These are the quantities the game-theoretic model of the paper is written in terms of
+(Section 3.1): a user's utility is the value it attributes to its allocation minus its
+payment; a provider's utility is the payment it receives minus the value (cost) it
+attributes to what it supplies; social welfare is the total user value (standard
+auction) or the difference between total user value and total provider cost (double
+auction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.auctions.base import Allocation, AuctionResult, BidVector, Payments
+
+__all__ = [
+    "social_welfare",
+    "user_utilities",
+    "provider_utilities",
+    "budget_surplus",
+    "user_utility",
+    "provider_utility",
+]
+
+
+def social_welfare(
+    bids: BidVector,
+    allocation: Allocation,
+    include_provider_costs: bool = True,
+) -> float:
+    """Social welfare of an allocation under the declared valuations.
+
+    Args:
+        bids: declared valuations (assumed truthful when measuring true welfare).
+        allocation: the allocation to evaluate.
+        include_provider_costs: if True (double auction), welfare is user value minus
+            provider cost; if False (standard auction), welfare is user value only.
+    """
+    value = sum(
+        bids.user(user_id).unit_value * allocation.user_total(user_id)
+        for user_id in allocation.winners()
+    )
+    if not include_provider_costs:
+        return value
+    cost = sum(
+        bids.provider(provider_id).unit_cost * allocation.provider_total(provider_id)
+        for provider_id in allocation.providers_used()
+    )
+    return value - cost
+
+
+def user_utility(
+    valuation: BidVector, result: AuctionResult, user_id: str
+) -> float:
+    """Utility of one user: value of its allocation (at its *true* valuation) minus payment."""
+    value = valuation.user(user_id).unit_value * result.allocation.user_total(user_id)
+    return value - result.payments.user_payment(user_id)
+
+
+def provider_utility(
+    valuation: BidVector, result: AuctionResult, provider_id: str
+) -> float:
+    """Utility of one provider: revenue minus the cost of the bandwidth it supplies."""
+    cost = valuation.provider(provider_id).unit_cost * result.allocation.provider_total(
+        provider_id
+    )
+    return result.payments.provider_revenue(provider_id) - cost
+
+
+def user_utilities(valuation: BidVector, result: AuctionResult) -> Dict[str, float]:
+    """Utilities of all users, computed against the given (true) valuation."""
+    return {uid: user_utility(valuation, result, uid) for uid in valuation.user_ids}
+
+
+def provider_utilities(valuation: BidVector, result: AuctionResult) -> Dict[str, float]:
+    """Utilities of all providers, computed against the given (true) valuation."""
+    return {pid: provider_utility(valuation, result, pid) for pid in valuation.provider_ids}
+
+
+def budget_surplus(payments: Payments) -> float:
+    """Total user payments minus total provider revenues (non-negative = budget balanced)."""
+    return payments.total_paid - payments.total_received

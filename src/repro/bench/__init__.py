@@ -1,0 +1,28 @@
+"""Benchmark harness reproducing the paper's evaluation (Figures 4 and 5).
+
+The paper's metric is the end-to-end running time of an auction round, measured on a
+real community-network testbed.  Offline, the harness reports the **critical-path
+elapsed time** of the simulated execution: measured per-handler CPU time charged to
+each provider's virtual clock, plus modelled message latencies (see DESIGN.md for why
+this preserves the figures' shape).  Each experiment produces a list of
+:class:`~repro.bench.harness.ExperimentPoint` rows — the same series the paper plots —
+and :mod:`repro.bench.reporting` renders them as text tables.
+"""
+
+from repro.bench.harness import (
+    ExperimentPoint,
+    Figure4Experiment,
+    Figure5Experiment,
+    default_latency_model,
+)
+from repro.bench.reporting import format_points, format_series, points_to_series
+
+__all__ = [
+    "ExperimentPoint",
+    "Figure4Experiment",
+    "Figure5Experiment",
+    "default_latency_model",
+    "format_points",
+    "format_series",
+    "points_to_series",
+]

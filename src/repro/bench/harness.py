@@ -1,0 +1,219 @@
+"""Experiment runners for the paper's two evaluation figures.
+
+Figure 4 (§6.2): running time of the *double auction* as a function of the number of
+users (up to 1000), for a centralised auctioneer and for the distributed simulation
+with m = 8 providers and k ∈ {1, 2, 3} — i.e. 3, 5 and 8 providers executing the
+protocol (the minimum 2k+1).
+
+Figure 5 (§6.3): running time of the *standard auction* as a function of the number of
+users (up to 125), for p ∈ {1, 2, 4} where p is the level of parallelism of the
+parallel allocator (p = 1 is the centralised execution, p = 2 corresponds to k = 3 and
+p = 4 to k = 1 with m = 8 providers).
+
+Timing model: the simulation charges measured handler CPU time to each provider's
+virtual clock and adds modelled message latencies; the reported ``elapsed`` value is
+the critical path (max over providers of their final clock), which is what a
+stopwatch at the paper's client node would approximately observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.standard_auction import StandardAuction
+from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer
+from repro.net.latency import BandwidthLatencyModel, LatencyModel
+
+__all__ = [
+    "ExperimentPoint",
+    "Figure4Experiment",
+    "Figure5Experiment",
+    "default_latency_model",
+]
+
+
+def default_latency_model() -> LatencyModel:
+    """The WAN-ish latency model used by both experiments.
+
+    Calibrated loosely to the paper's testbed: a few milliseconds of one-way latency
+    between community-network sites plus a 100 Mbit/s-class transmission term, which
+    is what makes the double-auction overhead grow with the number of users.
+    """
+    return BandwidthLatencyModel(base=0.003, bandwidth_bytes_per_s=12.5e6, jitter=0.001)
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One (series, n) measurement."""
+
+    figure: str
+    series: str
+    num_users: int
+    elapsed_seconds: float
+    messages: int
+    bytes_transferred: int
+    aborted: bool = False
+    extra: Tuple[Tuple[str, float], ...] = ()
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "figure": self.figure,
+            "series": self.series,
+            "users": self.num_users,
+            "seconds": self.elapsed_seconds,
+            "messages": self.messages,
+            "bytes": self.bytes_transferred,
+            "aborted": self.aborted,
+        }
+        row.update(dict(self.extra))
+        return row
+
+
+class Figure4Experiment:
+    """Running time of the double auction: centralised vs distributed (k = 1, 2, 3)."""
+
+    def __init__(
+        self,
+        num_providers: int = 8,
+        k_values: Sequence[int] = (1, 2, 3),
+        n_values: Sequence[int] = (100, 200, 400, 600, 800, 1000),
+        latency_model: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.num_providers = num_providers
+        self.k_values = tuple(k_values)
+        self.n_values = tuple(n_values)
+        self.latency_model = latency_model if latency_model is not None else default_latency_model()
+        self.seed = seed
+        self.workload = DoubleAuctionWorkload(seed=seed)
+        self.mechanism = DoubleAuction()
+
+    # -- single points -------------------------------------------------------------
+    def executors_for_k(self, k: int) -> List[str]:
+        """The minimum 2k+1 providers (paper: 3, 5, 8 out of 8) execute the protocol."""
+        needed = 2 * k + 1
+        if needed > self.num_providers:
+            raise ValueError(f"k={k} needs {needed} providers, have {self.num_providers}")
+        return [f"p{j:02d}" for j in range(needed)]
+
+    def run_centralized_point(self, num_users: int, instance: int = 0) -> ExperimentPoint:
+        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
+        report = CentralizedAuctioneer(self.mechanism, seed=self.seed).run(bids)
+        return ExperimentPoint(
+            figure="fig4",
+            series="centralised",
+            num_users=num_users,
+            elapsed_seconds=report.elapsed_time,
+            messages=0,
+            bytes_transferred=0,
+        )
+
+    def run_distributed_point(self, num_users: int, k: int, instance: int = 0) -> ExperimentPoint:
+        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
+        auctioneer = DistributedAuctioneer(
+            self.mechanism,
+            providers=self.executors_for_k(k),
+            config=FrameworkConfig(k=k, parallel=False),
+            latency_model=self.latency_model,
+            seed=self.seed,
+            measure_compute=True,
+        )
+        report = auctioneer.run_from_bids(bids)
+        return ExperimentPoint(
+            figure="fig4",
+            series=f"distributed k={k}",
+            num_users=num_users,
+            elapsed_seconds=report.outcome.elapsed_time,
+            messages=report.outcome.messages,
+            bytes_transferred=report.outcome.bytes_transferred,
+            aborted=report.aborted,
+            extra=(("executors", float(len(self.executors_for_k(k)))),),
+        )
+
+    # -- sweeps -----------------------------------------------------------------------
+    def run(self) -> List[ExperimentPoint]:
+        points: List[ExperimentPoint] = []
+        for n in self.n_values:
+            points.append(self.run_centralized_point(n))
+            for k in self.k_values:
+                points.append(self.run_distributed_point(n, k))
+        return points
+
+
+class Figure5Experiment:
+    """Running time of the standard auction: parallelism p = 1 (centralised), 2, 4."""
+
+    def __init__(
+        self,
+        num_providers: int = 8,
+        p_values: Sequence[int] = (1, 2, 4),
+        n_values: Sequence[int] = (25, 50, 75, 100, 125),
+        epsilon: float = 0.25,
+        latency_model: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.num_providers = num_providers
+        self.p_values = tuple(p_values)
+        self.n_values = tuple(n_values)
+        self.epsilon = epsilon
+        self.latency_model = latency_model if latency_model is not None else default_latency_model()
+        self.seed = seed
+        self.workload = StandardAuctionWorkload(seed=seed)
+        self.mechanism = StandardAuction(epsilon=epsilon)
+
+    def k_for_parallelism(self, p: int) -> int:
+        """The coalition bound giving parallelism ``p`` with m providers: p = ⌊m/(k+1)⌋."""
+        if p < 1 or p > self.num_providers:
+            raise ValueError(f"parallelism must be in [1, {self.num_providers}]")
+        return self.num_providers // p - 1
+
+    def provider_ids(self) -> List[str]:
+        return [f"p{j:02d}" for j in range(self.num_providers)]
+
+    def run_centralized_point(self, num_users: int, instance: int = 0) -> ExperimentPoint:
+        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
+        report = CentralizedAuctioneer(self.mechanism, seed=self.seed).run(bids)
+        return ExperimentPoint(
+            figure="fig5",
+            series="p=1 (centralised)",
+            num_users=num_users,
+            elapsed_seconds=report.elapsed_time,
+            messages=0,
+            bytes_transferred=0,
+        )
+
+    def run_distributed_point(self, num_users: int, p: int, instance: int = 0) -> ExperimentPoint:
+        if p <= 1:
+            return self.run_centralized_point(num_users, instance)
+        k = self.k_for_parallelism(p)
+        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
+        auctioneer = DistributedAuctioneer(
+            self.mechanism,
+            providers=self.provider_ids(),
+            config=FrameworkConfig(k=k, parallel=True, num_groups=p),
+            latency_model=self.latency_model,
+            seed=self.seed,
+            measure_compute=True,
+        )
+        report = auctioneer.run_from_bids(bids)
+        return ExperimentPoint(
+            figure="fig5",
+            series=f"p={p} (distributed, k={k})",
+            num_users=num_users,
+            elapsed_seconds=report.outcome.elapsed_time,
+            messages=report.outcome.messages,
+            bytes_transferred=report.outcome.bytes_transferred,
+            aborted=report.aborted,
+            extra=(("k", float(k)),),
+        )
+
+    def run(self) -> List[ExperimentPoint]:
+        points: List[ExperimentPoint] = []
+        for n in self.n_values:
+            for p in self.p_values:
+                points.append(self.run_distributed_point(n, p))
+        return points

@@ -1,0 +1,58 @@
+"""Text rendering of experiment results.
+
+The paper's figures plot running time (seconds) against the number of users, one line
+per configuration.  :func:`points_to_series` groups experiment points the same way,
+and :func:`format_points` renders them as a fixed-width table suitable for terminals
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.bench.harness import ExperimentPoint
+
+__all__ = ["points_to_series", "format_points", "format_series"]
+
+
+def points_to_series(points: Iterable[ExperimentPoint]) -> Dict[str, List[Tuple[int, float]]]:
+    """Group points by series name: series -> sorted list of (users, seconds)."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for point in points:
+        series.setdefault(point.series, []).append((point.num_users, point.elapsed_seconds))
+    for values in series.values():
+        values.sort()
+    return series
+
+
+def format_points(points: Iterable[ExperimentPoint]) -> str:
+    """Render points as a fixed-width table (one row per measurement)."""
+    rows = [p.as_row() for p in points]
+    if not rows:
+        return "(no data)"
+    headers = ["figure", "series", "users", "seconds", "messages", "bytes", "aborted"]
+    widths = {h: max(len(h), *(len(_cell(r.get(h))) for r in rows)) for h in headers}
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(_cell(row.get(h)).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)
+
+
+def format_series(points: Iterable[ExperimentPoint]) -> str:
+    """Render points as one block per series: ``users -> seconds`` pairs."""
+    series = points_to_series(points)
+    lines: List[str] = []
+    for name in sorted(series):
+        lines.append(f"{name}:")
+        for users, seconds in series[name]:
+            lines.append(f"  n={users:>5d}  {seconds:8.3f} s")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

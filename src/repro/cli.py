@@ -1,0 +1,132 @@
+"""Command-line interface.
+
+Three sub-commands cover the common workflows::
+
+    repro-auction run   --mechanism double --users 100 --providers 8 --k 1
+    repro-auction fig4  --users 100 200 400 --k 1 2 3
+    repro-auction fig5  --users 25 50 75 --parallelism 1 2 4
+
+``run`` executes one distributed auction round and prints the outcome; ``fig4`` and
+``fig5`` regenerate the corresponding evaluation figures of the paper as text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.standard_auction import StandardAuction
+from repro.bench.harness import Figure4Experiment, Figure5Experiment
+from repro.bench.reporting import format_points, format_series
+from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.core.framework import DistributedAuctioneer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-auction",
+        description="Distributed auctioneer for resource allocation (ICDCS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one distributed auction round")
+    run.add_argument("--mechanism", choices=["double", "standard"], default="double")
+    run.add_argument("--users", type=int, default=50)
+    run.add_argument("--providers", type=int, default=8)
+    run.add_argument("--k", type=int, default=1, help="tolerated coalition size")
+    run.add_argument("--parallel", action="store_true", help="use the parallel allocator")
+    run.add_argument("--epsilon", type=float, default=0.25, help="standard-auction accuracy knob")
+    run.add_argument("--seed", type=int, default=0)
+
+    fig4 = sub.add_parser("fig4", help="regenerate Figure 4 (double auction running time)")
+    fig4.add_argument("--users", type=int, nargs="+", default=[100, 200, 400, 600, 800, 1000])
+    fig4.add_argument("--k", type=int, nargs="+", default=[1, 2, 3])
+    fig4.add_argument("--providers", type=int, default=8)
+    fig4.add_argument("--seed", type=int, default=0)
+    fig4.add_argument("--series", action="store_true", help="print per-series summary")
+
+    fig5 = sub.add_parser("fig5", help="regenerate Figure 5 (standard auction running time)")
+    fig5.add_argument("--users", type=int, nargs="+", default=[25, 50, 75, 100, 125])
+    fig5.add_argument("--parallelism", type=int, nargs="+", default=[1, 2, 4])
+    fig5.add_argument("--providers", type=int, default=8)
+    fig5.add_argument("--epsilon", type=float, default=0.25)
+    fig5.add_argument("--seed", type=int, default=0)
+    fig5.add_argument("--series", action="store_true", help="print per-series summary")
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.mechanism == "double":
+        mechanism = DoubleAuction()
+        workload = DoubleAuctionWorkload(seed=args.seed)
+    else:
+        mechanism = StandardAuction(epsilon=args.epsilon)
+        workload = StandardAuctionWorkload(seed=args.seed)
+    bids = workload.generate(args.users, args.providers)
+    provider_ids = bids.provider_ids
+    auctioneer = DistributedAuctioneer(
+        mechanism,
+        providers=provider_ids,
+        config=FrameworkConfig(k=args.k, parallel=args.parallel),
+        seed=args.seed,
+        measure_compute=True,
+    )
+    report = auctioneer.run_from_bids(bids)
+    print(f"mechanism       : {mechanism.name}")
+    print(f"users/providers : {args.users}/{args.providers} (k={args.k}, parallel={args.parallel})")
+    print(f"outcome         : {'ABORT' if report.aborted else 'agreed (x, p)'}")
+    print(f"elapsed (model) : {report.outcome.elapsed_time:.4f} s")
+    print(f"messages        : {report.outcome.messages}")
+    print(f"bytes           : {report.outcome.bytes_transferred}")
+    if not report.aborted:
+        result = report.result
+        print(f"winning users   : {len(result.allocation.winners())}")
+        print(f"total paid      : {result.payments.total_paid:.4f}")
+        print(f"total received  : {result.payments.total_received:.4f}")
+    return 0
+
+
+def _command_fig4(args: argparse.Namespace) -> int:
+    experiment = Figure4Experiment(
+        num_providers=args.providers,
+        k_values=args.k,
+        n_values=args.users,
+        seed=args.seed,
+    )
+    points = experiment.run()
+    print(format_series(points) if args.series else format_points(points))
+    return 0
+
+
+def _command_fig5(args: argparse.Namespace) -> int:
+    experiment = Figure5Experiment(
+        num_providers=args.providers,
+        p_values=args.parallelism,
+        n_values=args.users,
+        epsilon=args.epsilon,
+        seed=args.seed,
+    )
+    points = experiment.run()
+    print(format_series(points) if args.series else format_points(points))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "fig4":
+        return _command_fig4(args)
+    if args.command == "fig5":
+        return _command_fig5(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

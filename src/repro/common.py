@@ -1,0 +1,65 @@
+"""Shared primitives used across layers.
+
+The special value ⊥ ("abort") appears at every level of the framework: a building
+block outputs ⊥ when it detects an inconsistency, and the outcome of the whole
+simulation is ⊥ if any provider outputs ⊥ (Definition 1 of the paper).  Defining the
+sentinel here — below every other package — keeps the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+__all__ = ["ABORT", "AbortType", "is_abort", "stable_hash"]
+
+
+def stable_hash(*parts: Any) -> int:
+    """Deterministic 63-bit hash of a tuple of simple values.
+
+    Python's built-in ``hash`` of strings is randomised per process
+    (``PYTHONHASHSEED``), which would make seed derivation irreproducible across
+    runs.  All seed derivation in this package therefore goes through this helper,
+    which hashes the ``repr`` of the parts with SHA-256.
+    """
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+class AbortType:
+    """Singleton sentinel representing the special value ⊥ (abort).
+
+    The sentinel compares equal only to itself, hashes consistently, and is falsy so
+    that ``if result:`` reads naturally in protocol code.
+    """
+
+    _instance: "AbortType | None" = None
+
+    def __new__(cls) -> "AbortType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ABORT"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AbortType)
+
+    def __hash__(self) -> int:
+        return hash("repro.common.ABORT")
+
+    def __reduce__(self):
+        # Pickling round-trips to the same singleton.
+        return (AbortType, ())
+
+
+ABORT = AbortType()
+
+
+def is_abort(value: Any) -> bool:
+    """True if ``value`` is the ⊥ sentinel."""
+    return isinstance(value, AbortType)

@@ -1,0 +1,118 @@
+"""Bandwidth-reservation scenarios: topology + workload + mechanism, ready to run.
+
+A scenario takes a generated community network, picks its gateways as the providers,
+draws a workload for its member nodes, and exposes convenience constructors for the
+centralised baseline, the distributed auctioneer, and a full
+:class:`~repro.runtime.auction_run.AuctionRun` with bidder nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.auctions.base import AllocationAlgorithm, BidVector
+from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.standard_auction import StandardAuction
+from repro.community.topology import CommunityNetwork, generate_community_network
+from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer
+from repro.net.latency import LatencyModel
+from repro.runtime.auction_run import AuctionRun
+
+__all__ = ["BandwidthReservationScenario"]
+
+
+@dataclass
+class BandwidthReservationScenario:
+    """A complete bandwidth-reservation scenario over a community network.
+
+    Attributes:
+        network: the community topology (gateways = providers).
+        bids: the generated bid vector (users = member nodes of the network, truncated
+            or padded with synthetic ids when the requested user count differs from
+            the member count).
+        mechanism: the allocation algorithm to use.
+    """
+
+    network: CommunityNetwork
+    bids: BidVector
+    mechanism: AllocationAlgorithm
+
+    # -- constructors --------------------------------------------------------------
+    @staticmethod
+    def double_auction(
+        num_users: int = 50,
+        num_gateways: int = 8,
+        num_nodes: Optional[int] = None,
+        seed: int = 0,
+    ) -> "BandwidthReservationScenario":
+        """A §6.2-style double-auction scenario."""
+        network = generate_community_network(
+            num_nodes=num_nodes if num_nodes is not None else max(num_users + num_gateways, 20),
+            num_gateways=num_gateways,
+            seed=seed,
+        )
+        workload = DoubleAuctionWorkload(seed=seed)
+        bids = workload.generate(num_users, num_gateways, provider_ids=network.gateways)
+        return BandwidthReservationScenario(network, bids, DoubleAuction())
+
+    @staticmethod
+    def standard_auction(
+        num_users: int = 30,
+        num_gateways: int = 8,
+        epsilon: float = 0.25,
+        num_nodes: Optional[int] = None,
+        seed: int = 0,
+    ) -> "BandwidthReservationScenario":
+        """A §6.3-style standard-auction scenario."""
+        network = generate_community_network(
+            num_nodes=num_nodes if num_nodes is not None else max(num_users + num_gateways, 20),
+            num_gateways=num_gateways,
+            seed=seed,
+        )
+        workload = StandardAuctionWorkload(seed=seed)
+        bids = workload.generate(num_users, num_gateways, provider_ids=network.gateways)
+        return BandwidthReservationScenario(network, bids, StandardAuction(epsilon=epsilon))
+
+    # -- runners ----------------------------------------------------------------------
+    @property
+    def providers(self) -> Sequence[str]:
+        return self.network.gateways
+
+    def latency_model(self) -> LatencyModel:
+        return self.network.latency_model()
+
+    def centralized(self, base_latency: float = 0.0) -> CentralizedAuctioneer:
+        return CentralizedAuctioneer(self.mechanism, base_latency=base_latency)
+
+    def distributed(
+        self,
+        config: Optional[FrameworkConfig] = None,
+        measure_compute: bool = False,
+        seed: int = 0,
+    ) -> DistributedAuctioneer:
+        return DistributedAuctioneer(
+            self.mechanism,
+            providers=list(self.providers),
+            config=config if config is not None else FrameworkConfig(),
+            latency_model=self.latency_model(),
+            seed=seed,
+            measure_compute=measure_compute,
+        )
+
+    def auction_run(
+        self,
+        config: Optional[FrameworkConfig] = None,
+        seed: int = 0,
+        **kwargs,
+    ) -> AuctionRun:
+        return AuctionRun(
+            self.bids,
+            self.mechanism,
+            config=config if config is not None else FrameworkConfig(),
+            latency_model=self.latency_model(),
+            seed=seed,
+            **kwargs,
+        )

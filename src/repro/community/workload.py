@@ -1,0 +1,157 @@
+"""Workload generators matching the paper's evaluation parameters (Section 6).
+
+Both experiments draw user bids uniformly from [0.75, 1.25] and bandwidth demands
+uniformly from (0, 1].  They differ in how provider capacities (and costs) are set:
+
+* **Double auction (§6.2, Figure 4)** — each provider's capacity is the per-provider
+  share of the total demand scaled by a random factor in [0.5, 1.5] (so both
+  under- and over-provisioned cases occur), and providers have a unit cost uniform
+  in (0, 1].
+* **Standard auction (§6.3, Figure 5)** — capacities are scaled down by a random
+  factor in [0, 0.25] of the per-provider demand share, so that "roughly no more than
+  a quarter of the users win the bids"; providers do not bid (zero cost).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.auctions.base import BidVector, ProviderAsk, UserBid
+from repro.common import stable_hash
+
+__all__ = ["WorkloadParameters", "DoubleAuctionWorkload", "StandardAuctionWorkload"]
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """The distribution parameters shared by both workloads (paper defaults)."""
+
+    bid_low: float = 0.75
+    bid_high: float = 1.25
+    demand_low: float = 0.0  # exclusive
+    demand_high: float = 1.0
+
+    def draw_bid(self, rng: random.Random) -> float:
+        return rng.uniform(self.bid_low, self.bid_high)
+
+    def draw_demand(self, rng: random.Random) -> float:
+        # (0, 1]: reject the measure-zero 0 draw.
+        value = rng.uniform(self.demand_low, self.demand_high)
+        while value <= self.demand_low:
+            value = rng.uniform(self.demand_low, self.demand_high)
+        return value
+
+
+class _BaseWorkload:
+    """Shared machinery: user generation and deterministic seeding."""
+
+    def __init__(self, parameters: Optional[WorkloadParameters] = None, seed: int = 0) -> None:
+        self.parameters = parameters if parameters is not None else WorkloadParameters()
+        self.seed = seed
+
+    def _rng(self, *scope) -> random.Random:
+        return random.Random(stable_hash(self.seed, type(self).__name__, *scope))
+
+    def _users(self, num_users: int, rng: random.Random) -> List[UserBid]:
+        return [
+            UserBid(
+                user_id=f"u{i:04d}",
+                unit_value=self.parameters.draw_bid(rng),
+                demand=self.parameters.draw_demand(rng),
+            )
+            for i in range(num_users)
+        ]
+
+
+class DoubleAuctionWorkload(_BaseWorkload):
+    """Figure 4 workload: double auction with provider costs and ±50% capacity scaling.
+
+    Args:
+        capacity_low/high: the random scaling factor applied to each provider's share
+            of the total demand (paper: [0.5, 1.5]).
+        cost_low/high: provider unit cost range (paper: (0, 1]).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[WorkloadParameters] = None,
+        capacity_low: float = 0.5,
+        capacity_high: float = 1.5,
+        cost_low: float = 0.0,
+        cost_high: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(parameters, seed)
+        self.capacity_low = capacity_low
+        self.capacity_high = capacity_high
+        self.cost_low = cost_low
+        self.cost_high = cost_high
+
+    def generate(
+        self,
+        num_users: int,
+        num_providers: int,
+        provider_ids: Optional[Sequence[str]] = None,
+        instance: int = 0,
+    ) -> BidVector:
+        """Generate one instance with ``num_users`` users and ``num_providers`` providers."""
+        rng = self._rng(num_users, num_providers, instance)
+        users = self._users(num_users, rng)
+        total_demand = sum(u.demand for u in users)
+        share = total_demand / max(1, num_providers)
+        ids = list(provider_ids) if provider_ids is not None else [
+            f"p{j:02d}" for j in range(num_providers)
+        ]
+        providers = []
+        for provider_id in ids:
+            cost = rng.uniform(self.cost_low, self.cost_high)
+            while cost <= self.cost_low:
+                cost = rng.uniform(self.cost_low, self.cost_high)
+            capacity = share * rng.uniform(self.capacity_low, self.capacity_high)
+            providers.append(ProviderAsk(provider_id, cost, capacity))
+        return BidVector(tuple(users), tuple(providers))
+
+
+class StandardAuctionWorkload(_BaseWorkload):
+    """Figure 5 workload: standard auction with scarce capacity (≈ quarter of users win).
+
+    Args:
+        capacity_low/high: the random scaling factor applied to each provider's share
+            of the total demand (paper: [0, 0.25]).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[WorkloadParameters] = None,
+        capacity_low: float = 0.0,
+        capacity_high: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(parameters, seed)
+        self.capacity_low = capacity_low
+        self.capacity_high = capacity_high
+
+    def generate(
+        self,
+        num_users: int,
+        num_providers: int,
+        provider_ids: Optional[Sequence[str]] = None,
+        instance: int = 0,
+    ) -> BidVector:
+        """Generate one instance with ``num_users`` users and ``num_providers`` providers."""
+        rng = self._rng(num_users, num_providers, instance)
+        users = self._users(num_users, rng)
+        total_demand = sum(u.demand for u in users)
+        share = total_demand / max(1, num_providers)
+        ids = list(provider_ids) if provider_ids is not None else [
+            f"p{j:02d}" for j in range(num_providers)
+        ]
+        providers = []
+        for provider_id in ids:
+            scale = rng.uniform(self.capacity_low, self.capacity_high)
+            # Keep a small floor so a provider can host at least one typical demand.
+            capacity = max(share * scale, 0.05)
+            providers.append(ProviderAsk(provider_id, 0.0, capacity))
+        return BidVector(tuple(users), tuple(providers))

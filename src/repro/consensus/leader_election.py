@@ -1,0 +1,117 @@
+"""Commit/reveal leader election (Abraham–Dolev–Halpern style).
+
+Although the distributed auctioneer does not strictly need a leader, leader election
+is the canonical k-resilient building block of the literature the paper builds on
+(Abraham, Dolev, Halpern; DISC 2013) and is provided here both as a reusable block and
+as the simplest exercise of the commit/reveal machinery shared with the common coin.
+
+Every provider commits to a uniformly random integer, reveals it once all commitments
+are in, and the leader is the participant with rank ``sum(values) mod m`` in the
+sorted participant list.  A provider that reveals a value inconsistent with its
+commitment — or never commits a fresh random value and tries to bias the outcome after
+seeing others — is detected and the block outputs ⊥.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.common import ABORT
+from repro.consensus.commitment import Commitment, CommitmentScheme
+from repro.net.protocol import BlockContext, ProtocolBlock
+
+__all__ = ["LeaderElectionBlock"]
+
+_RANDOM_BITS = 62
+
+
+class LeaderElectionBlock(ProtocolBlock):
+    """Elect a uniformly random leader among the participants."""
+
+    COMMIT = "commit"
+    REVEAL = "reveal"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._my_value: int = 0
+        self._my_nonce: bytes = b""
+        self._commitments: Dict[str, Commitment] = {}
+        self._reveals: Dict[str, int] = {}
+        self._pending_reveals: Dict[str, Any] = {}
+        self._revealed = False
+
+    def on_start(self, ctx: BlockContext) -> None:
+        self._my_value = ctx.rng.getrandbits(_RANDOM_BITS)
+        commitment, nonce = CommitmentScheme.commit(self._my_value, ctx.rng)
+        self._my_nonce = nonce
+        self._commitments[ctx.node_id] = commitment
+        ctx.broadcast(commitment.digest, subtag=self.COMMIT)
+        self._maybe_reveal(ctx)
+
+    def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
+        if self.done or sender not in ctx.participants:
+            return
+        if subtag == self.COMMIT:
+            self._on_commit(ctx, sender, payload)
+        elif subtag == self.REVEAL:
+            self._on_reveal(ctx, sender, payload)
+
+    def _on_commit(self, ctx: BlockContext, sender: str, payload: Any) -> None:
+        if sender in self._commitments:
+            if self._commitments[sender].digest != payload:
+                self.complete(ABORT)
+            return
+        if not isinstance(payload, str):
+            self.complete(ABORT)
+            return
+        self._commitments[sender] = Commitment(payload)
+        if sender in self._pending_reveals:
+            # A reveal raced ahead of its commit (asynchrony); process it now.
+            self._on_reveal(ctx, sender, self._pending_reveals.pop(sender))
+            if self.done:
+                return
+        self._maybe_reveal(ctx)
+
+    def _maybe_reveal(self, ctx: BlockContext) -> None:
+        if self._revealed or self.done:
+            return
+        if set(self._commitments) != set(ctx.participants):
+            return
+        self._revealed = True
+        ctx.broadcast((self._my_value, self._my_nonce), subtag=self.REVEAL)
+        self._reveals[ctx.node_id] = self._my_value
+        self._maybe_decide(ctx)
+
+    def _on_reveal(self, ctx: BlockContext, sender: str, payload: Any) -> None:
+        commitment = self._commitments.get(sender)
+        if commitment is None:
+            # The reveal overtook its commit on the wire (channels are reliable but
+            # not ordered).  Buffer it; it is re-processed when the commit arrives.
+            self._pending_reveals[sender] = payload
+            return
+        try:
+            value, nonce = payload
+        except (TypeError, ValueError):
+            self.complete(ABORT)
+            return
+        if not isinstance(value, int) or value < 0 or value >= (1 << _RANDOM_BITS):
+            self.complete(ABORT)
+            return
+        if not commitment.verify(value, bytes(nonce)):
+            self.complete(ABORT)
+            return
+        if sender in self._reveals:
+            if self._reveals[sender] != value:
+                self.complete(ABORT)
+            return
+        self._reveals[sender] = value
+        self._maybe_decide(ctx)
+
+    def _maybe_decide(self, ctx: BlockContext) -> None:
+        if self.done or not self._revealed:
+            return
+        if set(self._reveals) != set(ctx.participants):
+            return
+        total = sum(self._reveals.values())
+        ordered = sorted(ctx.participants)
+        self.complete(ordered[total % len(ordered)])

@@ -1,0 +1,135 @@
+"""Batched consensus: many labelled instances over shared messages.
+
+Running one :class:`~repro.consensus.rational_consensus.RationalConsensusBlock` per
+bidder (or per bit) is faithful to the paper's description but wasteful on the wire:
+with ``n`` bidders and ``m`` providers it sends ``O(n·m²)`` small messages.  A real
+deployment (and the paper's prototype, which finishes 1000-user auctions in under a
+second over a WAN) batches the instances: each provider sends *one* message per peer
+per round carrying the values for every label.
+
+:class:`BatchedConsensusBlock` implements exactly the same two-round
+broadcast/echo/decide structure as the single-instance block, but over a labelled
+dictionary of inputs.  Per-label decisions use the same majority rule, so the batched
+and per-instance modes agree on the output whenever both terminate (a property checked
+by the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.common import ABORT
+from repro.consensus.rational_consensus import majority_decision
+from repro.net.protocol import BlockContext, ProtocolBlock
+
+__all__ = ["BatchedConsensusBlock"]
+
+
+class BatchedConsensusBlock(ProtocolBlock):
+    """Agree on one value per label, using two batched rounds.
+
+    Args:
+        name: block name.
+        my_inputs: mapping label -> this provider's input for that label.
+        labels: the full set of labels every provider must cover; a received batch
+            with a different label set is an observable deviation (⊥).
+        validator: optional per-value predicate applied to every received value.
+    """
+
+    VALUE = "value"
+    ECHO = "echo"
+
+    def __init__(
+        self,
+        name: str,
+        my_inputs: Dict[str, Any],
+        labels: Optional[list] = None,
+        validator: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.my_inputs = dict(my_inputs)
+        self.labels = sorted(my_inputs.keys()) if labels is None else sorted(labels)
+        self.validator = validator
+        self._batches: Dict[str, Dict[str, Any]] = {}
+        self._echoes: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        self._echo_sent = False
+
+    # -- helpers -----------------------------------------------------------------
+    def _valid_batch(self, batch: Any) -> bool:
+        if not isinstance(batch, dict):
+            return False
+        if sorted(batch.keys()) != self.labels:
+            return False
+        if self.validator is not None:
+            return all(self.validator(value) for value in batch.values())
+        return True
+
+    # -- protocol -----------------------------------------------------------------
+    def on_start(self, ctx: BlockContext) -> None:
+        if not self._valid_batch(self.my_inputs):
+            self.complete(ABORT)
+            return
+        self._batches[ctx.node_id] = dict(self.my_inputs)
+        ctx.broadcast(dict(self.my_inputs), subtag=self.VALUE)
+        self._maybe_echo(ctx)
+
+    def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
+        if self.done or sender not in ctx.participants:
+            return
+        if subtag == self.VALUE:
+            self._on_value(ctx, sender, payload)
+        elif subtag == self.ECHO:
+            self._on_echo(ctx, sender, payload)
+
+    def _on_value(self, ctx: BlockContext, sender: str, payload: Any) -> None:
+        if sender in self._batches:
+            if self._batches[sender] != payload:
+                self.complete(ABORT)
+            return
+        if not self._valid_batch(payload):
+            self.complete(ABORT)
+            return
+        self._batches[sender] = dict(payload)
+        self._maybe_echo(ctx)
+
+    def _maybe_echo(self, ctx: BlockContext) -> None:
+        if self._echo_sent or self.done:
+            return
+        if set(self._batches) != set(ctx.participants):
+            return
+        self._echo_sent = True
+        snapshot = {provider: dict(batch) for provider, batch in self._batches.items()}
+        ctx.broadcast(snapshot, subtag=self.ECHO)
+        self._echoes[ctx.node_id] = snapshot
+        self._maybe_decide(ctx)
+
+    def _on_echo(self, ctx: BlockContext, sender: str, payload: Any) -> None:
+        if not isinstance(payload, dict):
+            self.complete(ABORT)
+            return
+        if sender in self._echoes:
+            if self._echoes[sender] != payload:
+                self.complete(ABORT)
+            return
+        self._echoes[sender] = payload
+        self._maybe_decide(ctx)
+
+    def _maybe_decide(self, ctx: BlockContext) -> None:
+        if self.done or not self._echo_sent:
+            return
+        if set(self._echoes) != set(ctx.participants):
+            return
+        reference = self._echoes[ctx.node_id]
+        for echo in self._echoes.values():
+            if echo != reference:
+                # Two providers hold different views of the first round: someone
+                # equivocated, so the correct output is ⊥.
+                self.complete(ABORT)
+                return
+        decisions: Dict[str, Any] = {}
+        for label in self.labels:
+            per_provider = {
+                provider: batch[label] for provider, batch in reference.items()
+            }
+            decisions[label] = majority_decision(per_provider)
+        self.complete(decisions)

@@ -1,0 +1,66 @@
+"""Configuration of the distributed auctioneer framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bid_agreement import AGREEMENT_MODES
+
+__all__ = ["FrameworkConfig"]
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Tunable parameters of a distributed simulation of the auctioneer.
+
+    Attributes:
+        k: maximum coalition size the simulation must tolerate.  The rational
+            consensus underlying the bid agreement requires ``m > 2k`` providers, and
+            the parallel allocator assigns every task to at least ``k + 1`` providers.
+        parallel: if True and the mechanism is decomposable, use the parallel
+            allocator (task graph); otherwise every provider runs the allocation
+            algorithm locally after input validation.
+        num_groups: number of provider groups for the parallel allocator.  ``None``
+            means the maximum level of parallelism ``p = ⌊m / (k+1)⌋`` (the value the
+            paper's evaluation uses).
+        agreement_mode: ``"batched"`` (default), ``"per_label"`` or ``"per_bit"``;
+            see :class:`~repro.core.bid_agreement.BidAgreementBlock`.
+        use_common_coin: whether the allocator runs the common coin to agree on the
+            random seed of the allocation algorithm (True keeps the full block chain
+            of the paper; False saves one round for deterministic algorithms).
+        require_quorum: if True, constructing a simulation with ``m <= 2k`` raises
+            immediately instead of producing a protocol without its equilibrium
+            guarantee.
+    """
+
+    k: int = 1
+    parallel: bool = False
+    num_groups: Optional[int] = None
+    agreement_mode: str = "batched"
+    use_common_coin: bool = True
+    require_quorum: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+        if self.agreement_mode not in AGREEMENT_MODES:
+            raise ValueError(
+                f"agreement_mode must be one of {AGREEMENT_MODES}, got {self.agreement_mode!r}"
+            )
+        if self.num_groups is not None and self.num_groups < 1:
+            raise ValueError("num_groups must be positive when given")
+
+    def check_quorum(self, num_providers: int) -> None:
+        """Raise if the provider count is too small for the configured ``k``."""
+        if not self.require_quorum:
+            return
+        if num_providers <= 2 * self.k:
+            raise ValueError(
+                f"the rational-consensus building block requires m > 2k; "
+                f"got m={num_providers}, k={self.k}"
+            )
+
+    def max_parallelism(self, num_providers: int) -> int:
+        """The maximum number of task groups: ``⌊m / (k + 1)⌋``."""
+        return max(1, num_providers // (self.k + 1))

@@ -1,0 +1,115 @@
+"""Probability distributions Π for the common coin.
+
+The common-coin block of the framework takes a distribution Π as input and outputs a
+random value distributed according to Π, identical at every provider (Property 4 of
+the paper).  The construction first produces a value uniform in [0, 1) by summing the
+providers' committed random numbers modulo 1, and then applies a transformation — the
+inverse CDF of Π — to that uniform value.  The classes below are those
+transformations, as plain, canonically-encodable objects so a distribution can itself
+be part of a protocol payload.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "Distribution",
+    "UniformDistribution",
+    "ExponentialDistribution",
+    "DiscreteDistribution",
+    "SeedDistribution",
+]
+
+
+class Distribution(abc.ABC):
+    """A distribution defined by its inverse-CDF transform of a uniform [0,1) sample."""
+
+    @abc.abstractmethod
+    def transform(self, uniform: float) -> object:
+        """Map a uniform [0, 1) sample to a sample of this distribution."""
+
+    def _check(self, uniform: float) -> float:
+        if not 0.0 <= uniform < 1.0:
+            raise ValueError(f"uniform sample must lie in [0, 1), got {uniform}")
+        return uniform
+
+
+@dataclass(frozen=True)
+class UniformDistribution(Distribution):
+    """Uniform on ``[low, high)``."""
+
+    low: float = 0.0
+    high: float = 1.0
+
+    def transform(self, uniform: float) -> float:
+        uniform = self._check(uniform)
+        return self.low + (self.high - self.low) * uniform
+
+
+@dataclass(frozen=True)
+class ExponentialDistribution(Distribution):
+    """Exponential with the given rate (inverse scale)."""
+
+    rate: float = 1.0
+
+    def transform(self, uniform: float) -> float:
+        uniform = self._check(uniform)
+        # Guard the log: uniform == 0 maps to 0, the infimum of the support.
+        return 0.0 if uniform == 0.0 else -math.log1p(-uniform) / self.rate
+
+
+@dataclass(frozen=True)
+class DiscreteDistribution(Distribution):
+    """A finite discrete distribution over arbitrary values.
+
+    Attributes:
+        values: the support.
+        weights: non-negative weights (normalised internally); defaults to uniform.
+    """
+
+    values: Tuple = ()
+    weights: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("DiscreteDistribution needs a non-empty support")
+        if self.weights and len(self.weights) != len(self.values):
+            raise ValueError("weights must match values in length")
+        if self.weights and (min(self.weights) < 0 or sum(self.weights) <= 0):
+            raise ValueError("weights must be non-negative and not all zero")
+
+    def transform(self, uniform: float) -> object:
+        uniform = self._check(uniform)
+        weights: Sequence[float] = self.weights or tuple(1.0 for _ in self.values)
+        total = float(sum(weights))
+        threshold = uniform * total
+        cumulative = 0.0
+        for value, weight in zip(self.values, weights):
+            cumulative += weight
+            if threshold < cumulative:
+                return value
+        return self.values[-1]
+
+
+@dataclass(frozen=True)
+class SeedDistribution(Distribution):
+    """Uniform integer seed in ``[0, 2**bits)``.
+
+    This is how the allocator consumes the common coin in practice: one agreed seed
+    drives a deterministic pseudo-random generator inside the allocation algorithm,
+    so a single coin invocation covers an arbitrary number of internal draws.
+    """
+
+    bits: int = 63
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 63:
+            raise ValueError("bits must be between 1 and 63")
+
+    def transform(self, uniform: float) -> int:
+        uniform = self._check(uniform)
+        return min(int(uniform * (1 << self.bits)), (1 << self.bits) - 1)

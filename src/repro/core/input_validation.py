@@ -1,0 +1,83 @@
+"""Input validation block (Property 3 of the paper).
+
+Before the providers simulate the allocation algorithm, they must make sure they are
+all starting from the same input vector; otherwise a coalition could feed a doctored
+vector to part of the simulation.  The implementation is the simple one the paper
+suggests: every provider broadcasts (a digest of) its input vector and outputs ⊥ as
+soon as it sees two different vectors; if all inputs match, the block outputs the
+input unchanged.
+
+Broadcasting a SHA-256 digest instead of the full vector keeps the message size
+constant — the full vectors were already exchanged during bid agreement — without
+weakening the detection property in the rational (non-cryptanalytic) threat model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.common import ABORT
+from repro.consensus.commitment import CommitmentScheme
+from repro.net.protocol import BlockContext, ProtocolBlock
+
+__all__ = ["InputValidationBlock"]
+
+
+class InputValidationBlock(ProtocolBlock):
+    """Broadcast-and-compare validation of the allocator's input vector.
+
+    Args:
+        name: block name.
+        my_input: this provider's input (any canonically-encodable value).
+        full_broadcast: if True, send the full input instead of its digest.  The
+            digest mode is the default because it is what a deployment would do; the
+            full mode is useful in tests that want to inspect traffic.
+    """
+
+    ANNOUNCE = "announce"
+    _FIXED_NONCE = b"input-validation"
+
+    def __init__(self, name: str, my_input: Any, full_broadcast: bool = False) -> None:
+        super().__init__(name)
+        self.my_input = my_input
+        self.full_broadcast = full_broadcast
+        self._received: Dict[str, Any] = {}
+
+    # -- helpers ------------------------------------------------------------------
+    def _fingerprint(self, value: Any) -> Any:
+        if self.full_broadcast:
+            return value
+        return CommitmentScheme.digest_of(value, self._FIXED_NONCE)
+
+    # -- protocol -----------------------------------------------------------------
+    def on_start(self, ctx: BlockContext) -> None:
+        fingerprint = self._fingerprint(self.my_input)
+        self._received[ctx.node_id] = fingerprint
+        ctx.broadcast(fingerprint, subtag=self.ANNOUNCE)
+        self._maybe_finish(ctx)
+
+    def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
+        if self.done or subtag != self.ANNOUNCE or sender not in ctx.participants:
+            return
+        if sender in self._received:
+            if self._received[sender] != payload:
+                self.complete(ABORT)
+            return
+        self._received[sender] = payload
+        if payload != self._received[ctx.node_id]:
+            # Two providers hold different inputs: both must output ⊥ (condition (1)
+            # of Property 3), which punishes whoever forged its vector upstream.
+            self.complete(ABORT)
+            return
+        self._maybe_finish(ctx)
+
+    def _maybe_finish(self, ctx: BlockContext) -> None:
+        if self.done:
+            return
+        if set(self._received) != set(ctx.participants):
+            return
+        mine = self._received[ctx.node_id]
+        if all(value == mine for value in self._received.values()):
+            self.complete(self.my_input)
+        else:
+            self.complete(ABORT)

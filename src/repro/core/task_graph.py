@@ -1,0 +1,256 @@
+"""Task graphs for the parallel allocator (Section 4.2, Figures 2–3).
+
+The execution of the allocation algorithm ``A`` is described as a directed acyclic
+graph of *tasks*: nodes are computations, edges are data dependencies, and every two
+unordered tasks may run in parallel on different groups of providers.  To tolerate
+coalitions of size ``k`` each task is assigned to at least ``k + 1`` providers, and
+there is one final task, executed by every provider, that depends (transitively) on
+all other tasks and produces the output pair (x, p).
+
+This module provides the graph data structures, their validity checks, and the
+builder for the standard-auction graph of Algorithm 1 (allocation task, one payment
+task per group of users, final gather task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.auctions.base import BidVector
+from repro.auctions.decomposable import DecomposableMechanism
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "TaskGraphError",
+    "assign_provider_groups",
+    "partition_users",
+    "build_standard_auction_graph",
+]
+
+#: A task body: (dependency results, agreed bid vector, agreed random seed) -> value.
+TaskFunction = Callable[[Mapping[str, Any], BidVector, int], Any]
+
+
+class TaskGraphError(ValueError):
+    """Raised when a task graph violates the structural requirements of §4.2."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the allocator's task graph.
+
+    Attributes:
+        name: unique task name.
+        depends_on: names of the tasks whose results this task consumes.
+        executors: provider ids assigned to execute this task (at least k+1).
+        fn: the computation; must be a deterministic function of its arguments.
+    """
+
+    name: str
+    depends_on: Tuple[str, ...]
+    executors: Tuple[str, ...]
+    fn: TaskFunction
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskGraphError("task name must be non-empty")
+        if not self.executors:
+            raise TaskGraphError(f"task {self.name!r} has no executors")
+        if len(set(self.executors)) != len(self.executors):
+            raise TaskGraphError(f"task {self.name!r} has duplicate executors")
+
+
+@dataclass
+class TaskGraph:
+    """A DAG of tasks ending in a single gather task executed by all providers."""
+
+    tasks: Dict[str, Task] = field(default_factory=dict)
+    final_task: Optional[str] = None
+
+    def add(self, task: Task) -> None:
+        if task.name in self.tasks:
+            raise TaskGraphError(f"duplicate task name {task.name!r}")
+        self.tasks[task.name] = task
+
+    def task(self, name: str) -> Task:
+        return self.tasks[name]
+
+    # -- structure ---------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Task names in dependency order; raises on cycles or dangling references."""
+        in_degree: Dict[str, int] = {}
+        for task in self.tasks.values():
+            in_degree.setdefault(task.name, 0)
+            for dep in task.depends_on:
+                if dep not in self.tasks:
+                    raise TaskGraphError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+                in_degree[task.name] = in_degree.get(task.name, 0) + 1
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        order: List[str] = []
+        remaining = dict(in_degree)
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for task in self.tasks.values():
+                if current in task.depends_on:
+                    remaining[task.name] -= 1
+                    if remaining[task.name] == 0:
+                        ready.append(task.name)
+            ready.sort()
+        if len(order) != len(self.tasks):
+            raise TaskGraphError("task graph contains a cycle")
+        return order
+
+    def successors(self, name: str) -> List[Task]:
+        return [task for task in self.tasks.values() if name in task.depends_on]
+
+    def validate(self, providers: Sequence[str], k: int) -> None:
+        """Check the structural requirements for a k-resilient simulation.
+
+        * every task is executed by at least ``k + 1`` providers, all of which are
+          known providers;
+        * there is exactly one final task, it is executed by *all* providers, and
+          every other task is an ancestor of it (so the output depends on everything).
+        """
+        provider_set = set(providers)
+        order = self.topological_order()
+        if self.final_task is None:
+            raise TaskGraphError("task graph has no final task")
+        if self.final_task not in self.tasks:
+            raise TaskGraphError(f"unknown final task {self.final_task!r}")
+        for task in self.tasks.values():
+            if len(task.executors) < k + 1:
+                raise TaskGraphError(
+                    f"task {task.name!r} has {len(task.executors)} executors; "
+                    f"needs at least k+1={k + 1}"
+                )
+            unknown = set(task.executors) - provider_set
+            if unknown:
+                raise TaskGraphError(f"task {task.name!r} has unknown executors {unknown}")
+        final = self.tasks[self.final_task]
+        if set(final.executors) != provider_set:
+            raise TaskGraphError("the final task must be executed by all providers")
+        # Every non-final task must reach the final task.
+        reachable = {self.final_task}
+        for name in reversed(order):
+            if name in reachable:
+                reachable.update(self.tasks[name].depends_on)
+        missing = set(self.tasks) - reachable
+        if missing:
+            raise TaskGraphError(
+                f"tasks {sorted(missing)} do not feed into the final task"
+            )
+
+
+# -- provider grouping and user partitioning -------------------------------------------
+def assign_provider_groups(
+    providers: Sequence[str], k: int, num_groups: Optional[int] = None
+) -> List[List[str]]:
+    """Partition providers into ``c`` groups of at least ``k + 1`` members each.
+
+    The maximum level of parallelism is ``p = ⌊m / (k + 1)⌋`` (Section 6); fewer
+    groups may be requested.  Providers are assigned contiguously in sorted-id order,
+    with any remainder spread over the first groups.
+    """
+    ordered = sorted(providers)
+    m = len(ordered)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    max_groups = m // (k + 1)
+    if max_groups < 1:
+        raise ValueError(f"need at least k+1={k + 1} providers, have {m}")
+    c = max_groups if num_groups is None else num_groups
+    if c < 1 or c > max_groups:
+        raise ValueError(f"num_groups must be in [1, {max_groups}], got {c}")
+    base, extra = divmod(m, c)
+    groups: List[List[str]] = []
+    cursor = 0
+    for index in range(c):
+        size = base + (1 if index < extra else 0)
+        groups.append(ordered[cursor : cursor + size])
+        cursor += size
+    return groups
+
+
+def partition_users(user_ids: Sequence[str], num_groups: int) -> List[List[str]]:
+    """Split users into ``num_groups`` balanced chunks (some possibly empty).
+
+    Users are dealt round-robin (by sorted id) rather than in contiguous runs: the
+    expensive part of the payment task is the per-*winner* re-solve, and winners tend
+    to cluster, so striding spreads them evenly over the groups and keeps the
+    parallel phase balanced.
+    """
+    ordered = sorted(user_ids)
+    if num_groups < 1:
+        raise ValueError("num_groups must be at least 1")
+    chunks: List[List[str]] = [[] for _ in range(num_groups)]
+    for index, user_id in enumerate(ordered):
+        chunks[index % num_groups].append(user_id)
+    return chunks
+
+
+# -- the standard-auction graph of Algorithm 1 ------------------------------------------
+def build_standard_auction_graph(
+    mechanism: DecomposableMechanism,
+    bids: BidVector,
+    providers: Sequence[str],
+    k: int,
+    num_groups: Optional[int] = None,
+) -> TaskGraph:
+    """Build the allocation / per-group payments / gather graph of Algorithm 1.
+
+    Task 1 ("alloc") computes the allocation and is executed by every provider (the
+    paper runs this step sequentially everywhere because it parallelises poorly).
+    Task 2.g ("pay/<g>") computes the payments of the g-th chunk of users and is
+    executed by provider group g.  Task 3 ("final") gathers everything and assembles
+    the (x, p) pair; it is executed by every provider.
+    """
+    all_providers = tuple(sorted(providers))
+    groups = assign_provider_groups(all_providers, k, num_groups)
+    chunks = partition_users(bids.user_ids, len(groups))
+
+    graph = TaskGraph()
+
+    def alloc_fn(_inputs: Mapping[str, Any], agreed: BidVector, seed: int) -> Any:
+        allocation, welfare = mechanism.solve_allocation(agreed, seed)
+        return {"allocation": allocation, "welfare": welfare}
+
+    graph.add(Task("alloc", (), all_providers, alloc_fn))
+
+    payment_tasks: List[str] = []
+    for index, (group, chunk) in enumerate(zip(groups, chunks)):
+        task_name = f"pay/{index}"
+        payment_tasks.append(task_name)
+        chunk_users = tuple(chunk)
+
+        def payment_fn(
+            inputs: Mapping[str, Any],
+            agreed: BidVector,
+            seed: int,
+            _users: Tuple[str, ...] = chunk_users,
+        ) -> Any:
+            alloc_result = inputs["alloc"]
+            return mechanism.payments_for_users(
+                agreed,
+                list(_users),
+                alloc_result["allocation"],
+                alloc_result["welfare"],
+                seed,
+            )
+
+        graph.add(Task(task_name, ("alloc",), tuple(group), payment_fn))
+
+    def final_fn(inputs: Mapping[str, Any], agreed: BidVector, seed: int) -> Any:
+        merged: Dict[str, float] = {}
+        for task_name in payment_tasks:
+            merged.update(inputs[task_name])
+        return mechanism.assemble(agreed, inputs["alloc"]["allocation"], merged)
+
+    graph.add(Task("final", ("alloc", *payment_tasks), all_providers, final_fn))
+    graph.final_task = "final"
+    graph.validate(all_providers, k)
+    return graph

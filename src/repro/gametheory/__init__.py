@@ -1,0 +1,28 @@
+"""Game-theoretic analysis harness.
+
+The paper's guarantees are stated game-theoretically: truthfulness of the mechanisms,
+budget balance, and k-resilience of the distributed simulation.  This package provides
+the *empirical* counterparts used by the test suite and the experiment scripts:
+
+* :mod:`repro.gametheory.utility` — utilities of users and providers for a given
+  outcome (0 when the outcome is ⊥, as in Section 3.3).
+* :mod:`repro.gametheory.truthfulness` — sampled unilateral-misreport checks for any
+  mechanism.
+* :mod:`repro.gametheory.resilience` — coalition deviation sweeps over the distributed
+  simulation, checking that no coalition member profits and that correct providers'
+  outcome can only be pushed towards ⊥.
+"""
+
+from repro.gametheory.resilience import DeviationOutcome, ResilienceReport, check_k_resilience
+from repro.gametheory.truthfulness import TruthfulnessReport, check_truthfulness
+from repro.gametheory.utility import outcome_provider_utility, outcome_user_utility
+
+__all__ = [
+    "DeviationOutcome",
+    "ResilienceReport",
+    "TruthfulnessReport",
+    "check_k_resilience",
+    "check_truthfulness",
+    "outcome_provider_utility",
+    "outcome_user_utility",
+]

@@ -1,0 +1,48 @@
+"""Utilities of users and providers for simulation outcomes.
+
+Section 3.3 of the paper: if the outcome is ⊥ the utility of every participant is 0;
+otherwise a user's utility is the value of its allocation (under its *true* valuation)
+minus its payment, and a provider's utility is the payment it receives minus the cost
+of the resources it supplies.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.auctions.base import AuctionResult, BidVector
+from repro.auctions.welfare import provider_utility, user_utility
+from repro.common import AbortType, is_abort
+from repro.core.outcome import Outcome
+
+__all__ = ["outcome_user_utility", "outcome_provider_utility"]
+
+OutcomeLike = Union[Outcome, AuctionResult, AbortType, None]
+
+
+def _result_of(outcome: OutcomeLike):
+    if outcome is None or is_abort(outcome):
+        return None
+    if isinstance(outcome, Outcome):
+        return None if outcome.aborted else outcome.auction_result
+    if isinstance(outcome, AuctionResult):
+        return outcome
+    return None
+
+
+def outcome_user_utility(valuation: BidVector, outcome: OutcomeLike, user_id: str) -> float:
+    """Utility of a user for an outcome (0 if the outcome is ⊥ or undefined)."""
+    result = _result_of(outcome)
+    if result is None:
+        return 0.0
+    return user_utility(valuation, result, user_id)
+
+
+def outcome_provider_utility(
+    valuation: BidVector, outcome: OutcomeLike, provider_id: str
+) -> float:
+    """Utility of a provider for an outcome (0 if the outcome is ⊥ or undefined)."""
+    result = _result_of(outcome)
+    if result is None:
+        return 0.0
+    return provider_utility(valuation, result, provider_id)

@@ -1,0 +1,82 @@
+"""Point-to-point channels.
+
+The paper assumes *reliable* channels: every message sent is eventually delivered,
+unmodified, exactly once.  :class:`ReliableChannel` implements that contract for the
+discrete-event simulator.  The class is small but explicit so that tests (and
+adversarial schedulers) can inspect in-flight traffic, and so that alternative channel
+semantics (drop, duplicate) could be added for robustness experiments without touching
+the rest of the runtime.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from repro.net.message import Message
+
+__all__ = ["Channel", "ReliableChannel"]
+
+
+class Channel(abc.ABC):
+    """A unidirectional channel between two nodes."""
+
+    @abc.abstractmethod
+    def push(self, message: Message) -> None:
+        """Enqueue a message for delivery."""
+
+    @abc.abstractmethod
+    def pop(self, msg_id: int) -> Message:
+        """Remove and return the in-flight message with the given id."""
+
+    @abc.abstractmethod
+    def pending(self) -> List[Message]:
+        """Messages sent but not yet delivered."""
+
+    def __len__(self) -> int:
+        return len(self.pending())
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self.pending())
+
+
+@dataclass
+class ReliableChannel(Channel):
+    """FIFO-ordered reliable channel.
+
+    Delivery order between two given endpoints is FIFO by send time (the simulator's
+    schedulers may interleave messages from *different* senders arbitrarily, which is
+    where the asynchrony of the model lives), and no message is ever lost.
+    """
+
+    sender: str
+    recipient: str
+    _in_flight: List[Message] = field(default_factory=list)
+    delivered_count: int = 0
+    delivered_bytes: int = 0
+
+    def push(self, message: Message) -> None:
+        if message.sender != self.sender or message.recipient != self.recipient:
+            raise ValueError(
+                f"message {message!r} does not belong to channel "
+                f"{self.sender}->{self.recipient}"
+            )
+        self._in_flight.append(message)
+
+    def pop(self, msg_id: int) -> Message:
+        for index, message in enumerate(self._in_flight):
+            if message.msg_id == msg_id:
+                self.delivered_count += 1
+                self.delivered_bytes += message.size_bytes
+                return self._in_flight.pop(index)
+        raise KeyError(f"message id {msg_id} not in flight on {self.sender}->{self.recipient}")
+
+    def pending(self) -> List[Message]:
+        return list(self._in_flight)
+
+    def earliest_undelivered(self) -> Message | None:
+        """The in-flight message with the smallest send time (FIFO head), if any."""
+        if not self._in_flight:
+            return None
+        return min(self._in_flight, key=lambda m: (m.send_time, m.msg_id))

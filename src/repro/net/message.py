@@ -1,0 +1,75 @@
+"""Message type exchanged between nodes of the simulated runtime.
+
+A message is an immutable record of *who* sent *what* to *whom*, together with the
+virtual time at which it was sent and the arrival time assigned by the latency model.
+The ``tag`` field is a routing string used by layered protocols (for instance
+``"ba/consensus/u3/bit07/echo"``) so that a single node can multiplex many concurrent
+protocol blocks over one channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.serialization import estimate_size
+
+_MESSAGE_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message in transit between two nodes.
+
+    Attributes:
+        sender: identifier of the sending node.
+        recipient: identifier of the receiving node.
+        payload: arbitrary (picklable) protocol payload.
+        tag: routing tag used by protocol blocks to dispatch the payload.
+        send_time: virtual time at which the sender emitted the message.
+        arrival_time: virtual time at which the message becomes deliverable.
+        size_bytes: estimated wire size, used by bandwidth-aware latency models
+            and by the benchmark harness to report traffic volume.
+        msg_id: globally unique, monotonically increasing identifier; used for
+            deterministic tie-breaking in schedulers.
+    """
+
+    sender: str
+    recipient: str
+    payload: Any
+    tag: str = ""
+    send_time: float = 0.0
+    arrival_time: float = 0.0
+    size_bytes: int = 0
+    msg_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+
+    @staticmethod
+    def create(
+        sender: str,
+        recipient: str,
+        payload: Any,
+        tag: str = "",
+        send_time: float = 0.0,
+        arrival_time: float = 0.0,
+    ) -> "Message":
+        """Build a message, estimating its wire size from the payload."""
+        return Message(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            tag=tag,
+            send_time=send_time,
+            arrival_time=arrival_time,
+            size_bytes=estimate_size((tag, payload)),
+        )
+
+    def is_timer(self) -> bool:
+        """True if this is a self-addressed timer event (see NodeContext.set_timer)."""
+        return self.sender == self.recipient and self.tag.startswith("__timer__")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(#{self.msg_id} {self.sender}->{self.recipient} "
+            f"tag={self.tag!r} t={self.send_time:.4f}->{self.arrival_time:.4f})"
+        )

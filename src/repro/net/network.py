@@ -1,0 +1,319 @@
+"""Discrete-event simulator for asynchronous message passing.
+
+:class:`SimNetwork` executes a set of :class:`~repro.net.node.Node` state machines
+under the execution model of the paper: reliable channels, fair (but otherwise
+arbitrary) schedules, and per-node virtual clocks.  The simulator is deterministic
+given (nodes, seed, scheduler, latency model, and — if enabled — measured compute
+time), which makes protocol behaviour reproducible in tests.
+
+Time accounting
+---------------
+
+Each node owns a :class:`~repro.net.clock.VirtualClock`.  Sending stamps the message
+with the sender's current time; the latency model assigns an arrival time; processing
+a message advances the recipient's clock to at least the arrival time and then charges
+compute time.  Compute time can be *measured* (wall-clock of the handler, used by the
+benchmark harness) or purely *modelled* (only explicit ``ctx.charge`` calls count,
+used by deterministic tests).  The run's ``elapsed_time`` is the maximum clock value —
+the critical path of the distributed execution.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common import stable_hash
+from repro.net.channel import ReliableChannel
+from repro.net.clock import VirtualClock
+from repro.net.latency import LatencyModel, ZeroLatencyModel
+from repro.net.message import Message
+from repro.net.node import Node, NodeContext
+from repro.net.scheduler import FairScheduler, Scheduler
+
+__all__ = ["SimNetwork", "NetworkStats", "QuiescenceError"]
+
+
+class QuiescenceError(RuntimeError):
+    """Raised when the step budget is exhausted before the network quiesces."""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate statistics of one simulated run."""
+
+    elapsed_time: float = 0.0
+    steps: int = 0
+    messages_delivered: int = 0
+    bytes_delivered: int = 0
+    messages_dropped: int = 0
+    node_busy: Dict[str, float] = field(default_factory=dict)
+    node_finish_time: Dict[str, float] = field(default_factory=dict)
+    messages_by_tag: Dict[str, int] = field(default_factory=dict)
+
+    def record_delivery(self, message: Message) -> None:
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size_bytes
+        # Group traffic by protocol block path (the part of the tag before "|"),
+        # which lets the benchmark harness attribute overhead to individual blocks.
+        path = message.tag.split("|", 1)[0] if message.tag else ""
+        self.messages_by_tag[path] = self.messages_by_tag.get(path, 0) + 1
+
+
+class _SimContext(NodeContext):
+    """NodeContext bound to one node of a :class:`SimNetwork`."""
+
+    def __init__(self, network: "SimNetwork", node_id: str) -> None:
+        self._network = network
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> str:
+        return self._node_id
+
+    @property
+    def peers(self) -> Sequence[str]:
+        return self._network.node_ids
+
+    @property
+    def rng(self) -> random.Random:
+        return self._network._node_rngs[self._node_id]
+
+    def now(self) -> float:
+        return self._network.clock_of(self._node_id).now
+
+    def send(self, recipient: str, payload: Any, tag: str = "") -> None:
+        self._network._enqueue(self._node_id, recipient, payload, tag)
+
+    def set_timer(self, delay: float, tag: str) -> None:
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        self._network._enqueue_timer(self._node_id, delay, tag)
+
+    def charge(self, seconds: float) -> None:
+        self._network.clock_of(self._node_id).charge(seconds)
+
+
+class SimNetwork:
+    """Deterministic discrete-event network of :class:`Node` state machines.
+
+    Args:
+        latency_model: one-way delay model; defaults to zero latency.
+        scheduler: delivery-order strategy; defaults to earliest-arrival-first.
+        seed: seed for the network-level RNG (latency jitter, random scheduler) and
+            for deriving per-node RNGs.
+        measure_compute: if True, the wall-clock duration of every handler invocation
+            is charged to the node's virtual clock in addition to explicit
+            ``ctx.charge`` calls.  Leave False for deterministic tests.
+        compute_scale: multiplier applied to charged compute time (see VirtualClock).
+    """
+
+    def __init__(
+        self,
+        latency_model: Optional[LatencyModel] = None,
+        scheduler: Optional[Scheduler] = None,
+        seed: int = 0,
+        measure_compute: bool = False,
+        compute_scale: float = 1.0,
+    ) -> None:
+        self.latency_model = latency_model if latency_model is not None else ZeroLatencyModel()
+        self.scheduler = scheduler if scheduler is not None else FairScheduler()
+        self.measure_compute = measure_compute
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._nodes: Dict[str, Node] = {}
+        self._clocks: Dict[str, VirtualClock] = {}
+        self._node_rngs: Dict[str, random.Random] = {}
+        self._channels: Dict[tuple, ReliableChannel] = {}
+        self._in_flight: List[Message] = []
+        self._compute_scale = compute_scale
+        self.stats = NetworkStats()
+        self._started = False
+
+    # -- topology ------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Register a node; ids must be unique and registration happens before run()."""
+        if self._started:
+            raise RuntimeError("cannot add nodes after the network has started")
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._clocks[node.node_id] = VirtualClock(compute_scale=self._compute_scale)
+        self._node_rngs[node.node_id] = random.Random(
+            stable_hash(self._seed, node.node_id)
+        )
+
+    def add_nodes(self, nodes: Sequence[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes.keys())
+
+    def node(self, node_id: str) -> Node:
+        return self._nodes[node_id]
+
+    def clock_of(self, node_id: str) -> VirtualClock:
+        return self._clocks[node_id]
+
+    def outputs(self) -> Dict[str, Any]:
+        """Mapping node id -> output value for finished nodes."""
+        return {nid: node.output for nid, node in self._nodes.items() if node.finished}
+
+    # -- message plumbing ------------------------------------------------------
+    def _channel(self, sender: str, recipient: str) -> ReliableChannel:
+        key = (sender, recipient)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = ReliableChannel(sender=sender, recipient=recipient)
+            self._channels[key] = channel
+        return channel
+
+    def _enqueue(self, sender: str, recipient: str, payload: Any, tag: str) -> None:
+        if recipient not in self._nodes:
+            raise KeyError(f"unknown recipient {recipient!r}")
+        send_time = self._clocks[sender].now
+        delay = self.latency_model.delay(
+            sender, recipient, 0, self._rng
+        ) if sender != recipient else self.latency_model.local_delay()
+        message = Message.create(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            tag=tag,
+            send_time=send_time,
+            arrival_time=send_time,
+        )
+        # Recompute delay with the true size for bandwidth-aware models.
+        delay = (
+            self.latency_model.delay(sender, recipient, message.size_bytes, self._rng)
+            if sender != recipient
+            else self.latency_model.local_delay()
+        )
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            tag=tag,
+            send_time=send_time,
+            arrival_time=send_time + delay,
+            size_bytes=message.size_bytes,
+            msg_id=message.msg_id,
+        )
+        self._channel(sender, recipient).push(message)
+        self._in_flight.append(message)
+
+    def _enqueue_timer(self, node_id: str, delay: float, tag: str) -> None:
+        now = self._clocks[node_id].now
+        message = Message.create(
+            sender=node_id,
+            recipient=node_id,
+            payload=None,
+            tag=f"__timer__/{tag}",
+            send_time=now,
+            arrival_time=now + delay,
+        )
+        message = Message(
+            sender=node_id,
+            recipient=node_id,
+            payload=None,
+            tag=f"__timer__/{tag}",
+            send_time=now,
+            arrival_time=now + delay,
+            size_bytes=0,
+            msg_id=message.msg_id,
+        )
+        self._channel(node_id, node_id).push(message)
+        self._in_flight.append(message)
+
+    # -- execution -------------------------------------------------------------
+    def _dispatch(self, node: Node, handler, *args) -> None:
+        clock = self._clocks[node.node_id]
+        if self.measure_compute:
+            start = time.perf_counter()
+            handler(*args)
+            clock.charge(time.perf_counter() - start)
+        else:
+            handler(*args)
+
+    def _deliver(self, message: Message) -> None:
+        self._in_flight.remove(message)
+        self._channel(message.sender, message.recipient).pop(message.msg_id)
+        node = self._nodes[message.recipient]
+        if node.finished:
+            self.stats.messages_dropped += 1
+            return
+        clock = self._clocks[message.recipient]
+        clock.advance_to(message.arrival_time)
+        ctx = _SimContext(self, message.recipient)
+        self._dispatch(node, node.on_message, ctx, message)
+        self.stats.record_delivery(message)
+        if node.finished:
+            self.stats.node_finish_time[node.node_id] = clock.now
+
+    def start(self) -> None:
+        """Invoke ``on_start`` on every node (in registration order)."""
+        if self._started:
+            raise RuntimeError("network already started")
+        self._started = True
+        self.scheduler.reset()
+        for node_id, node in self._nodes.items():
+            ctx = _SimContext(self, node_id)
+            self._dispatch(node, node.on_start, ctx)
+            if node.finished:
+                self.stats.node_finish_time[node_id] = self._clocks[node_id].now
+
+    def step(self) -> bool:
+        """Deliver one message.  Returns False if nothing is deliverable."""
+        deliverable = [
+            m for m in self._in_flight if not self._nodes[m.recipient].finished
+        ]
+        if not deliverable:
+            # Drain traffic addressed to finished nodes so quiescence is reached.
+            for message in list(self._in_flight):
+                self._in_flight.remove(message)
+                self._channel(message.sender, message.recipient).pop(message.msg_id)
+                self.stats.messages_dropped += 1
+            return False
+        message = self.scheduler.select(deliverable, self._rng)
+        self._deliver(message)
+        self.stats.steps += 1
+        return True
+
+    def run(self, max_steps: int = 2_000_000) -> NetworkStats:
+        """Run until quiescence (no deliverable messages) or all nodes finished.
+
+        Raises:
+            QuiescenceError: if ``max_steps`` deliveries happen without quiescence,
+                which almost always indicates a protocol that livelocks.
+        """
+        if not self._started:
+            self.start()
+        steps = 0
+        while True:
+            if all(node.finished for node in self._nodes.values()):
+                break
+            progressed = self.step()
+            if not progressed:
+                break
+            steps += 1
+            if steps > max_steps:
+                raise QuiescenceError(
+                    f"network did not quiesce within {max_steps} deliveries"
+                )
+        self.stats.elapsed_time = max(
+            (clock.now for clock in self._clocks.values()), default=0.0
+        )
+        self.stats.node_busy = {nid: clock.busy for nid, clock in self._clocks.items()}
+        return self.stats
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def in_flight(self) -> List[Message]:
+        return list(self._in_flight)
+
+    def unfinished_nodes(self) -> List[str]:
+        return [nid for nid, node in self._nodes.items() if not node.finished]

@@ -1,0 +1,132 @@
+"""Schedulers: who moves next, and which message do they receive.
+
+The paper models asynchrony through *schedules*: an adversarially chosen but fair
+order in which providers move and receive messages (Section 3.3).  The simulator
+externalises that choice into a :class:`Scheduler` strategy so tests can run the same
+protocol under round-robin, random, and adversarial (but fair) schedules and check
+that outputs are unaffected — which is exactly the "ex post" part of the paper's
+equilibrium notion.
+
+All schedulers must be *fair*: every in-flight message is eventually selected.  The
+:class:`AdversarialScheduler` enforces this with a deferral budget per message.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.net.message import Message
+
+__all__ = [
+    "Scheduler",
+    "FairScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "AdversarialScheduler",
+]
+
+
+class Scheduler(abc.ABC):
+    """Strategy that picks the next in-flight message to deliver."""
+
+    @abc.abstractmethod
+    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
+        """Choose one message from the non-empty ``in_flight`` sequence."""
+
+    def reset(self) -> None:  # pragma: no cover - default no-op
+        """Clear any internal state before a new run."""
+
+
+class FairScheduler(Scheduler):
+    """Deliver the message with the earliest arrival time (deterministic).
+
+    Ties are broken by message id, so two runs with identical seeds and latencies are
+    bit-for-bit reproducible.  This is the scheduler used by the benchmark harness
+    because earliest-arrival order is what a real network with those latencies would
+    do.
+    """
+
+    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
+        return min(in_flight, key=lambda m: (m.arrival_time, m.msg_id))
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate over recipients, delivering each one's earliest pending message.
+
+    This matches the turn-based presentation of the execution model: node 1 moves,
+    then node 2, and so on, with every node scheduled infinitely often.
+    """
+
+    def __init__(self, order: Optional[Iterable[str]] = None) -> None:
+        self._order: List[str] = list(order) if order is not None else []
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
+        recipients = {m.recipient for m in in_flight}
+        for known in recipients:
+            if known not in self._order:
+                self._order.append(known)
+        for _ in range(len(self._order)):
+            candidate = self._order[self._cursor % len(self._order)]
+            self._cursor += 1
+            pending = [m for m in in_flight if m.recipient == candidate]
+            if pending:
+                return min(pending, key=lambda m: (m.arrival_time, m.msg_id))
+        # All pending recipients are unknown (cannot happen after the loop above,
+        # kept as a safe fallback).
+        return min(in_flight, key=lambda m: (m.arrival_time, m.msg_id))
+
+
+class RandomScheduler(Scheduler):
+    """Deliver a uniformly random in-flight message.
+
+    Because the set of in-flight messages is finite and every step removes the
+    selected one, every message is eventually delivered — the schedule is fair with
+    probability 1.
+    """
+
+    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
+        return in_flight[rng.randrange(len(in_flight))]
+
+
+@dataclass
+class AdversarialScheduler(Scheduler):
+    """Delay messages to/from targeted nodes as much as fairness allows.
+
+    Each message may be passed over at most ``max_deferrals`` times; after that it is
+    delivered even if it involves a targeted node.  This models a worst-case (but
+    fair) asynchronous adversary and is used by the resilience tests to confirm that
+    protocol outputs do not depend on scheduling.
+    """
+
+    targets: frozenset = frozenset()
+    max_deferrals: int = 16
+    _deferrals: Dict[int, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self._deferrals.clear()
+
+    def _is_targeted(self, message: Message) -> bool:
+        return message.sender in self.targets or message.recipient in self.targets
+
+    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
+        ordered = sorted(in_flight, key=lambda m: (m.arrival_time, m.msg_id))
+        # Forced deliveries first: messages that exhausted their deferral budget.
+        for message in ordered:
+            if self._deferrals.get(message.msg_id, 0) >= self.max_deferrals:
+                return message
+        # Prefer non-targeted traffic; defer targeted traffic.
+        for message in ordered:
+            if not self._is_targeted(message):
+                for other in ordered:
+                    if self._is_targeted(other):
+                        self._deferrals[other.msg_id] = self._deferrals.get(other.msg_id, 0) + 1
+                return message
+        # Only targeted traffic left — fairness forces a delivery.
+        return ordered[0]

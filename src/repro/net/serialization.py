@@ -1,0 +1,108 @@
+"""Canonical encoding and wire-size estimation for protocol payloads.
+
+The distributed auctioneer needs two serialisation services:
+
+* ``canonical_encode`` — a *deterministic* byte encoding of a payload, used to hash
+  values for commitments (common coin) and to compare values exchanged by the
+  input-validation and data-transfer blocks.  Two structurally equal payloads always
+  encode to the same bytes, regardless of dict insertion order.
+* ``estimate_size`` — a cheap estimate of the number of bytes a payload would occupy
+  on the wire, used by bandwidth-aware latency models and traffic accounting.
+
+Only plain data (numbers, strings, bytes, bools, None, tuples/lists, dicts, and
+dataclasses composed of those) is supported; this keeps the encoding portable and
+prevents accidentally shipping live objects between nodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any
+
+__all__ = ["canonical_encode", "estimate_size", "UnsupportedPayloadError"]
+
+
+class UnsupportedPayloadError(TypeError):
+    """Raised when a payload contains a type that cannot be canonically encoded."""
+
+
+def _encode_float(value: float) -> bytes:
+    # Canonical IEEE-754 big-endian encoding; avoids repr() instability.
+    return b"f" + struct.pack(">d", float(value))
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Return a deterministic byte encoding of ``value``.
+
+    Supported types: None, bool, int, float, str, bytes, list, tuple, dict (with
+    sortable keys), sets (sorted), and dataclasses (encoded as a tagged dict of
+    their fields).
+
+    Raises:
+        UnsupportedPayloadError: if the value (or a nested element) has an
+            unsupported type.
+    """
+    if value is None:
+        return b"n"
+    if isinstance(value, bool):
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        data = str(value).encode("ascii")
+        return b"i" + len(data).to_bytes(4, "big") + data
+    if isinstance(value, float):
+        return _encode_float(value)
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+        return b"s" + len(data).to_bytes(4, "big") + data
+    if isinstance(value, (bytes, bytearray)):
+        data = bytes(value)
+        return b"y" + len(data).to_bytes(4, "big") + data
+    if isinstance(value, (list, tuple)):
+        parts = [canonical_encode(item) for item in value]
+        body = b"".join(parts)
+        return b"l" + len(parts).to_bytes(4, "big") + body
+    if isinstance(value, (set, frozenset)):
+        encoded = sorted(canonical_encode(item) for item in value)
+        body = b"".join(encoded)
+        return b"e" + len(encoded).to_bytes(4, "big") + body
+    if isinstance(value, dict):
+        items = [(canonical_encode(k), canonical_encode(v)) for k, v in value.items()]
+        items.sort(key=lambda kv: kv[0])
+        body = b"".join(k + v for k, v in items)
+        return b"d" + len(items).to_bytes(4, "big") + body
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        fields = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        return b"c" + canonical_encode(name) + canonical_encode(fields)
+    raise UnsupportedPayloadError(
+        f"cannot canonically encode value of type {type(value).__name__!r}"
+    )
+
+
+def estimate_size(value: Any) -> int:
+    """Estimate the wire size, in bytes, of a payload.
+
+    The estimate mirrors ``canonical_encode`` but never raises: unsupported types
+    fall back to the length of their ``repr``.  It is intentionally cheap and
+    approximate — it is only used for latency modelling and traffic statistics.
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, (value.bit_length() + 7) // 8) + 1
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8")) + 4
+    if isinstance(value, (bytes, bytearray)):
+        return len(value) + 4
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 4 + sum(estimate_size(item) for item in value)
+    if isinstance(value, dict):
+        return 4 + sum(estimate_size(k) + estimate_size(v) for k, v in value.items())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return 4 + sum(
+            estimate_size(getattr(value, f.name)) for f in dataclasses.fields(value)
+        )
+    return len(repr(value))

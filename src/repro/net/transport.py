@@ -1,0 +1,174 @@
+"""Threaded in-process transport.
+
+:class:`ThreadedNetwork` runs every node on its own thread with a real queue as its
+mailbox.  The node code is exactly the same as under the discrete-event simulator —
+only the :class:`~repro.net.node.NodeContext` implementation changes — so integration
+tests can confirm that the protocols behave identically under genuine (preemptive)
+concurrency, delivery jitter and wall-clock timers.
+
+This backend intentionally measures *wall-clock* time; the Python GIL means CPU-bound
+tasks do not truly run in parallel here, which is why the benchmark harness uses the
+discrete-event backend's critical-path accounting for Figure 5 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common import stable_hash
+from repro.net.message import Message
+from repro.net.node import Node, NodeContext
+
+__all__ = ["ThreadedNetwork"]
+
+
+class _ThreadedContext(NodeContext):
+    def __init__(self, network: "ThreadedNetwork", node_id: str) -> None:
+        self._network = network
+        self._node_id = node_id
+        self._rng = random.Random(stable_hash(network.seed, node_id))
+
+    @property
+    def node_id(self) -> str:
+        return self._node_id
+
+    @property
+    def peers(self) -> Sequence[str]:
+        return self._network.node_ids
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def now(self) -> float:
+        return time.perf_counter() - self._network.start_time
+
+    def send(self, recipient: str, payload: Any, tag: str = "") -> None:
+        self._network.post(self._node_id, recipient, payload, tag)
+
+    def set_timer(self, delay: float, tag: str) -> None:
+        timer = threading.Timer(
+            delay,
+            self._network.post,
+            args=(self._node_id, self._node_id, None, f"__timer__/{tag}"),
+        )
+        timer.daemon = True
+        timer.start()
+        self._network.register_timer(timer)
+
+    def charge(self, seconds: float) -> None:
+        # Real time already elapses while handlers run; modelled charges are ignored.
+        return None
+
+
+class ThreadedNetwork:
+    """Thread-per-node transport sharing the Node/NodeContext interface.
+
+    Args:
+        seed: seed used to derive per-node RNGs.
+        poll_interval: how often worker threads check for shutdown, in seconds.
+    """
+
+    def __init__(self, seed: int = 0, poll_interval: float = 0.02) -> None:
+        self.seed = seed
+        self.poll_interval = poll_interval
+        self._nodes: Dict[str, Node] = {}
+        self._mailboxes: Dict[str, "queue.Queue[Message]"] = {}
+        self._threads: List[threading.Thread] = []
+        self._timers: List[threading.Timer] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self.start_time = 0.0
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    # -- topology --------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        self._mailboxes[node.node_id] = queue.Queue()
+
+    def add_nodes(self, nodes: Sequence[Node]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes.keys())
+
+    def outputs(self) -> Dict[str, Any]:
+        return {nid: node.output for nid, node in self._nodes.items() if node.finished}
+
+    # -- plumbing ---------------------------------------------------------------
+    def post(self, sender: str, recipient: str, payload: Any, tag: str) -> None:
+        if recipient not in self._mailboxes:
+            raise KeyError(f"unknown recipient {recipient!r}")
+        now = time.perf_counter() - self.start_time
+        message = Message.create(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            tag=tag,
+            send_time=now,
+            arrival_time=now,
+        )
+        with self._lock:
+            self.messages_delivered += 1
+            self.bytes_delivered += message.size_bytes
+        self._mailboxes[recipient].put(message)
+
+    def register_timer(self, timer: threading.Timer) -> None:
+        with self._lock:
+            self._timers.append(timer)
+
+    # -- execution ---------------------------------------------------------------
+    def _worker(self, node: Node) -> None:
+        ctx = _ThreadedContext(self, node.node_id)
+        try:
+            node.on_start(ctx)
+            mailbox = self._mailboxes[node.node_id]
+            while not node.finished and not self._stop.is_set():
+                try:
+                    message = mailbox.get(timeout=self.poll_interval)
+                except queue.Empty:
+                    continue
+                node.on_message(ctx, message)
+        except Exception as exc:  # pragma: no cover - surfaced via run()
+            with self._lock:
+                self._errors.append((node.node_id, exc))
+
+    def run(self, timeout: float = 60.0) -> Dict[str, Any]:
+        """Start all nodes and block until they all finish (or ``timeout``).
+
+        Returns the outputs of finished nodes.  Raises the first worker exception,
+        if any, so test failures are not silently swallowed.
+        """
+        self._errors: List[tuple] = []
+        self.start_time = time.perf_counter()
+        self._threads = [
+            threading.Thread(target=self._worker, args=(node,), daemon=True)
+            for node in self._nodes.values()
+        ]
+        for thread in self._threads:
+            thread.start()
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            if all(node.finished for node in self._nodes.values()):
+                break
+            if self._errors:
+                break
+            time.sleep(self.poll_interval)
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        for timer in self._timers:
+            timer.cancel()
+        if self._errors:
+            node_id, exc = self._errors[0]
+            raise RuntimeError(f"node {node_id!r} failed: {exc!r}") from exc
+        return self.outputs()

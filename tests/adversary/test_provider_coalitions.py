@@ -1,0 +1,122 @@
+"""Tests for deviating provider coalitions (safety of the distributed simulation)."""
+
+import functools
+
+import pytest
+
+from repro.adversary.coalition import Coalition
+from repro.adversary.provider_behaviors import (
+    CrashingProviderNode,
+    EquivocatingProviderNode,
+    InputForgingProviderNode,
+    MessageDroppingProviderNode,
+    OutputTamperingProviderNode,
+)
+from repro.auctions.double_auction import DoubleAuction
+from repro.common import is_abort
+from repro.community.workload import DoubleAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.core.framework import DistributedAuctioneer
+from repro.core.provider_protocol import ProviderInput
+
+PROVIDERS = [f"p{i}" for i in range(4)]
+
+
+def make_bids(seed=0):
+    return DoubleAuctionWorkload(seed=seed).generate(8, len(PROVIDERS), provider_ids=PROVIDERS)
+
+
+def make_auctioneer():
+    return DistributedAuctioneer(
+        DoubleAuction(), providers=PROVIDERS, config=FrameworkConfig(k=1)
+    )
+
+
+def run_with_coalition(coalition, seed=0):
+    auctioneer = make_auctioneer()
+    bids = make_bids(seed)
+    inputs = auctioneer.consistent_inputs(bids)
+    honest = auctioneer.run_from_bids(bids)
+    deviating = auctioneer.run(
+        inputs,
+        expected_users=[u.user_id for u in bids.users],
+        node_factory=coalition.factory(),
+    )
+    return honest, deviating
+
+
+class TestSingleDeviations:
+    def test_output_tampering_is_detected_by_outcome_combination(self):
+        coalition = Coalition.of(
+            ["p0"], functools.partial(OutputTamperingProviderNode, bonus=10.0)
+        )
+        honest, deviating = run_with_coalition(coalition)
+        assert not honest.aborted
+        # The tampered output disagrees with the honest providers' pair -> ⊥.
+        assert deviating.aborted
+
+    def test_equivocation_leads_to_abort_not_a_different_result(self):
+        coalition = Coalition.of(["p1"], EquivocatingProviderNode)
+        honest, deviating = run_with_coalition(coalition)
+        assert not honest.aborted
+        assert deviating.aborted
+
+    def test_message_dropping_cannot_forge_a_result(self):
+        coalition = Coalition.of(
+            ["p2"], functools.partial(MessageDroppingProviderNode, tag_substring="|echo")
+        )
+        honest, deviating = run_with_coalition(coalition)
+        assert not honest.aborted
+        # Omission can only prevent termination (⊥), never yield a different pair.
+        assert deviating.aborted or deviating.outcome.result == honest.outcome.result
+
+    def test_crash_mid_protocol_yields_abort(self):
+        coalition = Coalition.of(
+            ["p3"], functools.partial(CrashingProviderNode, max_sends=4)
+        )
+        honest, deviating = run_with_coalition(coalition)
+        assert deviating.aborted or deviating.outcome.result == honest.outcome.result
+
+    def test_input_forgery_is_caught_by_validation(self):
+        def forge(provider_input: ProviderInput) -> ProviderInput:
+            forged = dict(provider_input.received_user_bids)
+            # Drop the strongest competitor's bid entirely.
+            first_user = sorted(forged)[0]
+            forged[first_user] = None
+            return ProviderInput(
+                provider_input.provider_id, forged, provider_input.received_provider_asks
+            )
+
+        coalition = Coalition.of(
+            ["p0"], functools.partial(InputForgingProviderNode, forge=forge)
+        )
+        honest, deviating = run_with_coalition(coalition)
+        assert not honest.aborted
+        # The forged vector either loses the per-bidder majority (same outcome) or the
+        # forger ends up input-validating a different vector (⊥); it is never adopted.
+        assert deviating.aborted or deviating.outcome.result == honest.outcome.result
+
+
+class TestCoalitionsOfSizeK:
+    def test_two_member_coalition_cannot_alter_result_with_k2(self):
+        """With m=5 > 2k=4 and a 2-member equivocating coalition, correct providers
+        still never adopt a forged result."""
+        providers = [f"p{i}" for i in range(5)]
+        bids = DoubleAuctionWorkload(seed=3).generate(8, len(providers), provider_ids=providers)
+        auctioneer = DistributedAuctioneer(
+            DoubleAuction(), providers=providers, config=FrameworkConfig(k=2)
+        )
+        honest = auctioneer.run_from_bids(bids)
+        coalition = Coalition.of(["p0", "p1"], EquivocatingProviderNode)
+        deviating = auctioneer.run(
+            auctioneer.consistent_inputs(bids),
+            expected_users=[u.user_id for u in bids.users],
+            node_factory=coalition.factory(),
+        )
+        assert not honest.aborted
+        assert deviating.aborted or deviating.outcome.result == honest.outcome.result
+
+    def test_coalition_helpers(self):
+        coalition = Coalition.of(["p0", "p1"], EquivocatingProviderNode)
+        assert coalition.size == 2
+        assert "p0" in coalition.members

@@ -1,0 +1,123 @@
+"""Tests for the auction data model (BidVector, Allocation, Payments)."""
+
+import pytest
+
+from repro.auctions.base import (
+    Allocation,
+    AuctionResult,
+    BidVector,
+    FeasibilityError,
+    Payments,
+    ProviderAsk,
+    UserBid,
+)
+
+
+class TestUserBidAndAsk:
+    def test_total_value(self):
+        assert UserBid("u", 2.0, 3.0).total_value == pytest.approx(6.0)
+
+    def test_functional_updates(self):
+        bid = UserBid("u", 1.0, 2.0)
+        assert bid.with_unit_value(5.0) == UserBid("u", 5.0, 2.0)
+        assert bid.with_demand(7.0) == UserBid("u", 1.0, 7.0)
+        ask = ProviderAsk("p", 0.5, 4.0)
+        assert ask.with_unit_cost(0.7) == ProviderAsk("p", 0.7, 4.0)
+        assert ask.with_capacity(9.0) == ProviderAsk("p", 0.5, 9.0)
+
+
+class TestBidVector:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            BidVector((UserBid("u", 1, 1), UserBid("u", 2, 1)), ())
+        with pytest.raises(ValueError):
+            BidVector((), (ProviderAsk("p", 1, 1), ProviderAsk("p", 2, 1)))
+
+    def test_lookups(self, small_standard_bids):
+        assert small_standard_bids.user("u2").unit_value == pytest.approx(1.2)
+        assert small_standard_bids.provider("p1").capacity == pytest.approx(0.8)
+        with pytest.raises(KeyError):
+            small_standard_bids.user("nope")
+        with pytest.raises(KeyError):
+            small_standard_bids.provider("nope")
+
+    def test_aggregates(self, small_standard_bids):
+        assert small_standard_bids.total_demand == pytest.approx(0.6 + 0.4 + 0.5 + 0.7 + 0.3)
+        assert small_standard_bids.total_capacity == pytest.approx(2.3)
+
+    def test_replace_user(self, small_standard_bids):
+        updated = small_standard_bids.replace_user(UserBid("u0", 9.0, 0.6))
+        assert updated.user("u0").unit_value == pytest.approx(9.0)
+        assert small_standard_bids.user("u0").unit_value == pytest.approx(1.0)
+        with pytest.raises(KeyError):
+            small_standard_bids.replace_user(UserBid("ghost", 1.0, 1.0))
+
+    def test_without_user(self, small_standard_bids):
+        reduced = small_standard_bids.without_user("u3")
+        assert "u3" not in reduced.user_ids
+        assert len(reduced.users) == len(small_standard_bids.users) - 1
+
+
+class TestAllocation:
+    def test_from_dict_drops_zero_entries(self):
+        allocation = Allocation.from_dict({("u", "p"): 0.0, ("v", "p"): 0.5})
+        assert allocation.amount("u", "p") == 0.0
+        assert allocation.amount("v", "p") == pytest.approx(0.5)
+        assert allocation.winners() == ["v"]
+
+    def test_totals(self):
+        allocation = Allocation.from_dict({("u", "p0"): 0.4, ("u", "p1"): 0.2, ("v", "p0"): 0.1})
+        assert allocation.user_total("u") == pytest.approx(0.6)
+        assert allocation.provider_total("p0") == pytest.approx(0.5)
+        assert allocation.total_allocated == pytest.approx(0.7)
+        assert allocation.providers_used() == ["p0", "p1"]
+
+    def test_equality_is_structural(self):
+        a = Allocation.from_dict({("u", "p"): 0.5})
+        b = Allocation.from_dict({("u", "p"): 0.5})
+        assert a == b and hash(a) == hash(b)
+
+    def test_feasibility_capacity_violation(self, small_standard_bids):
+        allocation = Allocation.from_dict({("u0", "p2"): 0.6})  # p2 capacity 0.5
+        with pytest.raises(FeasibilityError):
+            allocation.check_feasible(small_standard_bids)
+
+    def test_feasibility_demand_violation(self, small_standard_bids):
+        allocation = Allocation.from_dict({("u4", "p0"): 0.9})  # u4 demand 0.3
+        with pytest.raises(FeasibilityError):
+            allocation.check_feasible(small_standard_bids)
+
+    def test_feasibility_unknown_ids(self, small_standard_bids):
+        with pytest.raises(FeasibilityError):
+            Allocation.from_dict({("ghost", "p0"): 0.1}).check_feasible(small_standard_bids)
+        with pytest.raises(FeasibilityError):
+            Allocation.from_dict({("u0", "ghost"): 0.1}).check_feasible(small_standard_bids)
+
+    def test_single_provider_constraint(self, small_standard_bids):
+        split = Allocation.from_dict({("u0", "p0"): 0.3, ("u0", "p1"): 0.3})
+        with pytest.raises(FeasibilityError):
+            split.check_feasible(small_standard_bids, single_provider=True)
+        partial = Allocation.from_dict({("u0", "p0"): 0.3})
+        with pytest.raises(FeasibilityError):
+            partial.check_feasible(small_standard_bids, single_provider=True)
+        full = Allocation.from_dict({("u0", "p0"): 0.6})
+        full.check_feasible(small_standard_bids, single_provider=True)
+
+
+class TestPayments:
+    def test_lookups_and_totals(self):
+        payments = Payments.from_dicts({"u0": 1.5, "u1": 0.5}, {"p0": 1.0})
+        assert payments.user_payment("u0") == pytest.approx(1.5)
+        assert payments.user_payment("ghost") == 0.0
+        assert payments.provider_revenue("p0") == pytest.approx(1.0)
+        assert payments.total_paid == pytest.approx(2.0)
+        assert payments.total_received == pytest.approx(1.0)
+
+    def test_budget_balance(self):
+        assert Payments.from_dicts({"u": 2.0}, {"p": 1.5}).is_budget_balanced()
+        assert not Payments.from_dicts({"u": 1.0}, {"p": 1.5}).is_budget_balanced()
+
+    def test_empty_result(self):
+        result = AuctionResult.empty()
+        assert result.allocation.is_empty()
+        assert result.payments.total_paid == 0.0

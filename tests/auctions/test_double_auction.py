@@ -1,0 +1,132 @@
+"""Tests for the truthful budget-balanced double auction (§5.2.1)."""
+
+import random
+
+import pytest
+
+from repro.auctions.base import BidVector, ProviderAsk, UserBid
+from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.welfare import budget_surplus, provider_utility, user_utility
+from repro.community.workload import DoubleAuctionWorkload
+
+
+@pytest.fixture
+def mechanism():
+    return DoubleAuction()
+
+
+def random_instance(seed, num_users=12, num_providers=4):
+    return DoubleAuctionWorkload(seed=seed).generate(num_users, num_providers)
+
+
+class TestBasicBehaviour:
+    def test_empty_inputs_yield_empty_result(self, mechanism):
+        assert mechanism.run(BidVector((), ())).allocation.is_empty()
+        assert mechanism.run(
+            BidVector((UserBid("u", 1.0, 0.5),), ())
+        ).allocation.is_empty()
+        assert mechanism.run(
+            BidVector((), (ProviderAsk("p", 0.1, 1.0),))
+        ).allocation.is_empty()
+
+    def test_no_trade_when_costs_exceed_values(self, mechanism):
+        bids = BidVector(
+            (UserBid("u0", 0.5, 1.0), UserBid("u1", 0.4, 1.0)),
+            (ProviderAsk("p0", 0.9, 5.0),),
+        )
+        assert mechanism.run(bids).allocation.is_empty()
+
+    def test_simple_trade_excludes_marginal_participants(self, mechanism):
+        bids = BidVector(
+            (
+                UserBid("u_hi", 1.0, 1.0),
+                UserBid("u_mid", 0.8, 1.0),
+                UserBid("u_lo", 0.6, 1.0),
+            ),
+            (
+                ProviderAsk("p_cheap", 0.1, 2.0),
+                ProviderAsk("p_dear", 0.5, 2.0),
+            ),
+        )
+        result = mechanism.run(bids)
+        winners = result.allocation.winners()
+        # The lowest-value trading user is excluded by the trade reduction.
+        assert "u_hi" in winners
+        assert "u_lo" not in winners
+
+    def test_water_filling_fills_cheapest_provider_first(self, mechanism):
+        bids = BidVector(
+            (
+                UserBid("u0", 1.2, 0.6),
+                UserBid("u1", 1.1, 0.6),
+                UserBid("u2", 1.0, 0.6),
+            ),
+            (
+                ProviderAsk("cheap", 0.1, 0.5),
+                ProviderAsk("mid", 0.2, 5.0),
+                ProviderAsk("dear", 0.3, 5.0),
+            ),
+        )
+        result = mechanism.run(bids)
+        if not result.allocation.is_empty():
+            # The cheapest provider is saturated before the next one is touched.
+            used = result.allocation.provider_total("cheap")
+            assert used == pytest.approx(0.5) or result.allocation.provider_total("mid") == 0
+
+    def test_feasibility_on_random_instances(self, mechanism):
+        for seed in range(10):
+            bids = random_instance(seed)
+            result = mechanism.run(bids)
+            result.allocation.check_feasible(bids)
+
+    def test_deterministic(self, mechanism):
+        bids = random_instance(3)
+        assert mechanism.run(bids, random.Random(0)) == mechanism.run(bids, random.Random(99))
+
+
+class TestEconomicProperties:
+    def test_budget_balance_on_random_instances(self, mechanism):
+        for seed in range(20):
+            result = mechanism.run(random_instance(seed))
+            assert budget_surplus(result.payments) >= -1e-9
+
+    def test_individual_rationality_users(self, mechanism):
+        for seed in range(20):
+            bids = random_instance(seed)
+            result = mechanism.run(bids)
+            for user_id in result.allocation.winners():
+                assert user_utility(bids, result, user_id) >= -1e-9
+
+    def test_individual_rationality_providers(self, mechanism):
+        for seed in range(20):
+            bids = random_instance(seed)
+            result = mechanism.run(bids)
+            for provider_id in result.allocation.providers_used():
+                assert provider_utility(bids, result, provider_id) >= -1e-9
+
+    def test_winners_pay_uniform_unit_price(self, mechanism):
+        for seed in range(5):
+            bids = random_instance(seed)
+            result = mechanism.run(bids)
+            prices = [
+                result.payments.user_payment(uid) / result.allocation.user_total(uid)
+                for uid in result.allocation.winners()
+            ]
+            if prices:
+                assert max(prices) - min(prices) < 1e-9
+
+    def test_buyer_price_at_least_seller_price(self, mechanism):
+        for seed in range(20):
+            bids = random_instance(seed)
+            result = mechanism.run(bids)
+            winners = result.allocation.winners()
+            sellers = result.allocation.providers_used()
+            if not winners or not sellers:
+                continue
+            buyer_price = result.payments.user_payment(winners[0]) / result.allocation.user_total(
+                winners[0]
+            )
+            seller_price = result.payments.provider_revenue(
+                sellers[0]
+            ) / result.allocation.provider_total(sellers[0])
+            assert buyer_price >= seller_price - 1e-9

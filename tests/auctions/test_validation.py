@@ -1,0 +1,82 @@
+"""Tests for bid validation and neutral substitution."""
+
+import math
+
+from repro.auctions.base import BidVector, ProviderAsk, UserBid
+from repro.auctions.validation import (
+    coerce_user_bid,
+    is_valid_provider_ask,
+    is_valid_user_bid,
+    neutral_provider_ask,
+    neutral_user_bid,
+    sanitize_bid_vector,
+)
+
+
+class TestUserBidValidation:
+    def test_valid_bid(self):
+        assert is_valid_user_bid(UserBid("u", 1.0, 0.5))
+
+    def test_wrong_type_invalid(self):
+        assert not is_valid_user_bid("not a bid")
+        assert not is_valid_user_bid(None)
+        assert not is_valid_user_bid(ProviderAsk("p", 1.0, 1.0))
+
+    def test_nonfinite_values_invalid(self):
+        assert not is_valid_user_bid(UserBid("u", math.inf, 0.5))
+        assert not is_valid_user_bid(UserBid("u", math.nan, 0.5))
+        assert not is_valid_user_bid(UserBid("u", 1.0, math.inf))
+
+    def test_negative_or_zero_demand_invalid(self):
+        assert not is_valid_user_bid(UserBid("u", 1.0, 0.0))
+        assert not is_valid_user_bid(UserBid("u", 1.0, -1.0))
+        assert not is_valid_user_bid(UserBid("u", -0.5, 1.0))
+
+    def test_out_of_range_invalid(self):
+        assert not is_valid_user_bid(UserBid("u", 1e12, 0.5))
+        assert not is_valid_user_bid(UserBid("u", 1.0, 1e12))
+
+
+class TestProviderAskValidation:
+    def test_valid_ask(self):
+        assert is_valid_provider_ask(ProviderAsk("p", 0.5, 10.0))
+        assert is_valid_provider_ask(ProviderAsk("p", 0.0, 0.0))
+
+    def test_invalid_asks(self):
+        assert not is_valid_provider_ask(None)
+        assert not is_valid_provider_ask(ProviderAsk("p", -0.1, 1.0))
+        assert not is_valid_provider_ask(ProviderAsk("p", math.nan, 1.0))
+        assert not is_valid_provider_ask(ProviderAsk("p", 0.1, -1.0))
+
+
+class TestNeutralSubstitution:
+    def test_neutral_bid_never_wins(self):
+        bid = neutral_user_bid("u")
+        assert bid.unit_value == 0.0
+        assert bid.demand > 0
+
+    def test_neutral_ask_cannot_trade(self):
+        assert neutral_provider_ask("p").capacity == 0.0
+
+    def test_coerce_keeps_valid_matching_bid(self):
+        bid = UserBid("u", 1.0, 0.5)
+        assert coerce_user_bid("u", bid) is bid
+
+    def test_coerce_rejects_identity_spoofing(self):
+        bid = UserBid("other", 1.0, 0.5)
+        assert coerce_user_bid("u", bid) == neutral_user_bid("u")
+
+    def test_coerce_rejects_garbage(self):
+        assert coerce_user_bid("u", "garbage") == neutral_user_bid("u")
+        assert coerce_user_bid("u", None) == neutral_user_bid("u")
+
+    def test_sanitize_bid_vector(self):
+        bids = BidVector(
+            (UserBid("u0", 1.0, 0.5), UserBid("u1", math.inf, 0.5)),
+            (ProviderAsk("p0", 0.1, 1.0), ProviderAsk("p1", -1.0, 1.0)),
+        )
+        clean = sanitize_bid_vector(bids)
+        assert clean.user("u0") == bids.user("u0")
+        assert clean.user("u1") == neutral_user_bid("u1")
+        assert clean.provider("p0") == bids.provider("p0")
+        assert clean.provider("p1") == neutral_provider_ask("p1")

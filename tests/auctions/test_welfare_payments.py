@@ -1,0 +1,79 @@
+"""Tests for welfare accounting and the Clarke-pivot payment helpers."""
+
+import pytest
+
+from repro.auctions.base import Allocation, AuctionResult, BidVector, Payments, ProviderAsk, UserBid
+from repro.auctions.payments import clarke_pivot_payment, clarke_pivot_payments, others_welfare
+from repro.auctions.welfare import (
+    budget_surplus,
+    provider_utilities,
+    provider_utility,
+    social_welfare,
+    user_utilities,
+    user_utility,
+)
+
+
+@pytest.fixture
+def bids():
+    return BidVector(
+        (UserBid("u0", 2.0, 1.0), UserBid("u1", 1.0, 1.0)),
+        (ProviderAsk("p0", 0.5, 2.0),),
+    )
+
+
+@pytest.fixture
+def result(bids):
+    allocation = Allocation.from_dict({("u0", "p0"): 1.0, ("u1", "p0"): 1.0})
+    payments = Payments.from_dicts({"u0": 1.0, "u1": 0.5}, {"p0": 1.2})
+    return AuctionResult(allocation, payments)
+
+
+class TestWelfare:
+    def test_social_welfare_with_costs(self, bids, result):
+        # value 2*1 + 1*1 = 3, cost 0.5*2 = 1
+        assert social_welfare(bids, result.allocation) == pytest.approx(2.0)
+
+    def test_social_welfare_without_costs(self, bids, result):
+        assert social_welfare(bids, result.allocation, include_provider_costs=False) == pytest.approx(3.0)
+
+    def test_empty_allocation_has_zero_welfare(self, bids):
+        assert social_welfare(bids, Allocation.empty()) == 0.0
+
+
+class TestUtilities:
+    def test_user_utility(self, bids, result):
+        assert user_utility(bids, result, "u0") == pytest.approx(2.0 - 1.0)
+        assert user_utility(bids, result, "u1") == pytest.approx(1.0 - 0.5)
+
+    def test_provider_utility(self, bids, result):
+        assert provider_utility(bids, result, "p0") == pytest.approx(1.2 - 0.5 * 2.0)
+
+    def test_bulk_utilities(self, bids, result):
+        assert set(user_utilities(bids, result)) == {"u0", "u1"}
+        assert set(provider_utilities(bids, result)) == {"p0"}
+
+    def test_budget_surplus(self, result):
+        assert budget_surplus(result.payments) == pytest.approx(1.5 - 1.2)
+
+
+class TestClarkePivot:
+    def test_others_welfare_excludes_the_user(self, bids, result):
+        assert others_welfare(bids, result.allocation, "u0") == pytest.approx(1.0)
+        assert others_welfare(bids, result.allocation, "u1") == pytest.approx(2.0)
+
+    def test_payment_is_externality(self, bids, result):
+        # If without u0 the others could get welfare 1.8, and with u0 they get 1.0,
+        # u0's payment is the 0.8 externality.
+        assert clarke_pivot_payment(bids, result.allocation, "u0", 1.8) == pytest.approx(0.8)
+
+    def test_payment_clamped_at_zero(self, bids, result):
+        assert clarke_pivot_payment(bids, result.allocation, "u0", 0.5) == 0.0
+
+    def test_losers_pay_zero(self, bids):
+        allocation = Allocation.from_dict({("u0", "p0"): 1.0})
+        payments = clarke_pivot_payments(
+            bids, allocation, ["u0", "u1"], welfare_without=lambda uid: 1.0
+        )
+        assert payments["u1"] == 0.0
+        assert payments["u0"] == pytest.approx(1.0)  # 1.0 - others(=0)

@@ -1,0 +1,130 @@
+"""Tests for the community-network topology, workloads and scenarios."""
+
+import networkx as nx
+import pytest
+
+from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.standard_auction import StandardAuction
+from repro.community.scenario import BandwidthReservationScenario
+from repro.community.topology import generate_community_network
+from repro.community.workload import (
+    DoubleAuctionWorkload,
+    StandardAuctionWorkload,
+    WorkloadParameters,
+)
+from repro.core.config import FrameworkConfig
+from repro.net.latency import LanWanLatencyModel
+
+
+class TestTopology:
+    def test_generated_network_is_connected(self):
+        network = generate_community_network(num_nodes=30, num_gateways=5, seed=1)
+        assert nx.is_connected(network.graph)
+        assert network.num_nodes == 30
+
+    def test_gateway_and_member_partition(self):
+        network = generate_community_network(num_nodes=25, num_gateways=6, seed=2)
+        assert len(network.gateways) == 6
+        assert len(network.members) == 19
+        assert not set(network.gateways) & set(network.members)
+
+    def test_gateways_are_well_connected(self):
+        network = generate_community_network(num_nodes=40, num_gateways=4, seed=3)
+        degrees = dict(network.graph.degree)
+        min_gateway_degree = min(degrees[g] for g in network.gateways)
+        median_degree = sorted(degrees.values())[len(degrees) // 2]
+        assert min_gateway_degree >= median_degree - 1
+
+    def test_sites_cover_all_nodes_and_feed_latency_model(self):
+        network = generate_community_network(num_nodes=20, num_gateways=4, num_sites=3, seed=4)
+        assert set(network.sites) == set(network.graph.nodes)
+        assert len(set(network.sites.values())) <= 3
+        model = network.latency_model()
+        assert isinstance(model, LanWanLatencyModel)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_community_network(num_nodes=5, num_gateways=5)
+        with pytest.raises(ValueError):
+            generate_community_network(num_sites=0)
+
+    def test_deterministic_given_seed(self):
+        a = generate_community_network(num_nodes=20, num_gateways=4, seed=9)
+        b = generate_community_network(num_nodes=20, num_gateways=4, seed=9)
+        assert a.gateways == b.gateways
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_hop_distance(self):
+        network = generate_community_network(num_nodes=15, num_gateways=3, seed=5)
+        nodes = list(network.graph.nodes)
+        assert network.hop_distance(nodes[0], nodes[0]) == 0
+        assert network.hop_distance(nodes[0], nodes[-1]) >= 1
+
+
+class TestWorkloads:
+    def test_double_auction_distributions_match_paper(self):
+        workload = DoubleAuctionWorkload(seed=0)
+        bids = workload.generate(200, 8)
+        assert len(bids.users) == 200
+        assert len(bids.providers) == 8
+        assert all(0.75 <= u.unit_value <= 1.25 for u in bids.users)
+        assert all(0.0 < u.demand <= 1.0 for u in bids.users)
+        assert all(0.0 < p.unit_cost <= 1.0 for p in bids.providers)
+        share = bids.total_demand / 8
+        assert all(0.5 * share <= p.capacity <= 1.5 * share for p in bids.providers)
+
+    def test_standard_auction_capacity_is_scarce(self):
+        workload = StandardAuctionWorkload(seed=0)
+        bids = workload.generate(100, 8)
+        assert all(p.unit_cost == 0.0 for p in bids.providers)
+        # Capacity is at most a quarter of the per-provider demand share (plus floor).
+        share = bids.total_demand / 8
+        assert all(p.capacity <= max(0.25 * share, 0.05) + 1e-9 for p in bids.providers)
+        assert bids.total_capacity < bids.total_demand
+
+    def test_instances_differ_but_are_reproducible(self):
+        workload = DoubleAuctionWorkload(seed=0)
+        a = workload.generate(10, 3, instance=0)
+        b = workload.generate(10, 3, instance=1)
+        again = workload.generate(10, 3, instance=0)
+        assert a != b
+        assert a == again
+
+    def test_custom_parameters(self):
+        params = WorkloadParameters(bid_low=2.0, bid_high=3.0)
+        bids = DoubleAuctionWorkload(parameters=params, seed=1).generate(20, 2)
+        assert all(2.0 <= u.unit_value <= 3.0 for u in bids.users)
+
+    def test_provider_ids_can_be_supplied(self):
+        bids = StandardAuctionWorkload(seed=0).generate(5, 2, provider_ids=["gw1", "gw2"])
+        assert bids.provider_ids == ["gw1", "gw2"]
+
+
+class TestScenario:
+    def test_double_auction_scenario_runs_end_to_end(self):
+        scenario = BandwidthReservationScenario.double_auction(
+            num_users=8, num_gateways=4, seed=1
+        )
+        assert isinstance(scenario.mechanism, DoubleAuction)
+        assert len(scenario.providers) == 4
+        report = scenario.distributed(FrameworkConfig(k=1)).run_from_bids(scenario.bids)
+        assert not report.aborted
+        central = scenario.centralized().run(scenario.bids)
+        assert report.result == central.result
+
+    def test_standard_auction_scenario_runs_end_to_end(self):
+        scenario = BandwidthReservationScenario.standard_auction(
+            num_users=6, num_gateways=4, epsilon=0.5, seed=2
+        )
+        assert isinstance(scenario.mechanism, StandardAuction)
+        report = scenario.distributed(FrameworkConfig(k=1, parallel=True)).run_from_bids(
+            scenario.bids
+        )
+        assert not report.aborted
+
+    def test_scenario_auction_run(self):
+        scenario = BandwidthReservationScenario.double_auction(
+            num_users=5, num_gateways=3, seed=3
+        )
+        result = scenario.auction_run(FrameworkConfig(k=1)).execute()
+        assert not result.aborted

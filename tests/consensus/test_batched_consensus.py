@@ -1,0 +1,107 @@
+"""Tests for the batched (multi-instance) consensus block."""
+
+import pytest
+
+from tests.conftest import run_block_network
+
+from repro.common import ABORT
+from repro.consensus.multi_consensus import BatchedConsensusBlock
+from repro.consensus.rational_consensus import RationalConsensusBlock
+from repro.net.scheduler import RandomScheduler
+
+
+class TestBatchedAgreement:
+    def test_identical_batches_agree(self):
+        inputs = {"x": 1, "y": "two", "z": None}
+        outputs = run_block_network(
+            ["p0", "p1", "p2"], lambda nid: BatchedConsensusBlock("b", dict(inputs))
+        )
+        assert all(v == inputs for v in outputs.values())
+
+    def test_per_label_majority(self):
+        def factory(nid):
+            my = {"x": 1 if nid != "p2" else 0, "y": "a" if nid == "p0" else "b"}
+            return BatchedConsensusBlock("b", my, labels=["x", "y"])
+
+        outputs = run_block_network(["p0", "p1", "p2"], factory)
+        assert all(v == {"x": 1, "y": "b"} for v in outputs.values())
+
+    def test_all_providers_get_identical_output(self):
+        def factory(nid):
+            return BatchedConsensusBlock("b", {"l1": nid, "l2": 5}, labels=["l1", "l2"])
+
+        outputs = run_block_network(["p0", "p1", "p2", "p3"], factory, scheduler=RandomScheduler())
+        values = list(outputs.values())
+        assert all(v == values[0] for v in values)
+        assert values[0]["l2"] == 5
+
+    def test_missing_label_aborts_locally_and_denies_progress(self):
+        def factory(nid):
+            labels = ["x", "y"]
+            my = {"x": 1, "y": 2} if nid != "p0" else {"x": 1}
+            return BatchedConsensusBlock("b", my, labels=labels)
+
+        outputs = run_block_network(["p0", "p1", "p2"], factory)
+        # p0's own batch is invalid: it aborts immediately and stays silent, so the
+        # correct providers never decide a value (which the framework maps to ⊥).
+        assert outputs["p0"] == ABORT
+        assert outputs["p1"] in (None, ABORT)
+        assert outputs["p2"] in (None, ABORT)
+
+    def test_malformed_remote_batch_is_detected(self):
+        def factory(nid):
+            labels = ["x", "y"]
+            if nid == "p0":
+                # The deviant declares only label "x" as its universe but still
+                # participates, so its malformed batch reaches the correct providers.
+                return BatchedConsensusBlock("b", {"x": 1}, labels=["x"])
+            return BatchedConsensusBlock("b", {"x": 1, "y": 2}, labels=labels)
+
+        outputs = run_block_network(["p0", "p1", "p2"], factory)
+        assert outputs["p1"] == ABORT
+        assert outputs["p2"] == ABORT
+
+    def test_validator_rejects_invalid_remote_values(self):
+        def factory(nid):
+            my = {"x": -1 if nid == "p1" else 1}
+            # Only the correct providers validate; the deviant broadcasts its
+            # invalid value and is caught.
+            validator = None if nid == "p1" else (lambda v: v > 0)
+            return BatchedConsensusBlock("b", my, labels=["x"], validator=validator)
+
+        outputs = run_block_network(["p0", "p1", "p2"], factory)
+        assert outputs["p0"] == ABORT
+        assert outputs["p2"] == ABORT
+
+
+class TestConsistencyWithPerInstanceConsensus:
+    def test_batched_matches_per_label_decisions(self):
+        """The batched mode must decide exactly what per-label instances decide."""
+        per_provider_inputs = {
+            "p0": {"a": 1, "b": "x", "c": 10},
+            "p1": {"a": 2, "b": "x", "c": 10},
+            "p2": {"a": 2, "b": "y", "c": 10},
+        }
+        providers = list(per_provider_inputs)
+
+        batched = run_block_network(
+            providers,
+            lambda nid: BatchedConsensusBlock(
+                "b", dict(per_provider_inputs[nid]), labels=["a", "b", "c"]
+            ),
+        )
+
+        per_label = {}
+        for label in ["a", "b", "c"]:
+            outputs = run_block_network(
+                providers,
+                lambda nid, label=label: RationalConsensusBlock(
+                    label, per_provider_inputs[nid][label]
+                ),
+            )
+            per_label[label] = outputs["p0"]
+            assert len(set(outputs.values())) == 1
+
+        assert batched["p0"] == per_label
+        assert batched["p1"] == per_label
+        assert batched["p2"] == per_label

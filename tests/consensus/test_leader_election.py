@@ -1,0 +1,38 @@
+"""Tests for commit/reveal leader election."""
+
+from collections import Counter
+
+from tests.conftest import run_block_network
+
+from repro.consensus.leader_election import LeaderElectionBlock
+from repro.net.scheduler import RandomScheduler
+
+
+class TestLeaderElection:
+    def test_all_providers_elect_the_same_leader(self):
+        providers = ["p0", "p1", "p2", "p3", "p4"]
+        outputs = run_block_network(providers, lambda nid: LeaderElectionBlock("le"))
+        assert len(set(outputs.values())) == 1
+        assert outputs["p0"] in providers
+
+    def test_leader_is_roughly_uniform_over_seeds(self):
+        providers = ["p0", "p1", "p2"]
+        counts = Counter()
+        for seed in range(30):
+            outputs = run_block_network(
+                providers, lambda nid: LeaderElectionBlock("le"), seed=seed
+            )
+            counts[outputs["p0"]] += 1
+        # Every provider should be elected at least once over 30 random seeds.
+        assert set(counts) == set(providers)
+
+    def test_agreement_under_random_schedule(self):
+        providers = ["p0", "p1", "p2", "p3"]
+        for seed in range(5):
+            outputs = run_block_network(
+                providers,
+                lambda nid: LeaderElectionBlock("le"),
+                scheduler=RandomScheduler(),
+                seed=seed,
+            )
+            assert len(set(outputs.values())) == 1

@@ -1,0 +1,72 @@
+"""Tests for the common-coin target distributions."""
+
+import math
+
+import pytest
+
+from repro.core.distributions import (
+    DiscreteDistribution,
+    ExponentialDistribution,
+    SeedDistribution,
+    UniformDistribution,
+)
+
+
+class TestUniform:
+    def test_transform_bounds(self):
+        dist = UniformDistribution(2.0, 4.0)
+        assert dist.transform(0.0) == pytest.approx(2.0)
+        assert dist.transform(0.5) == pytest.approx(3.0)
+        assert dist.transform(0.999999) < 4.0
+
+    def test_rejects_out_of_range_sample(self):
+        with pytest.raises(ValueError):
+            UniformDistribution().transform(1.0)
+        with pytest.raises(ValueError):
+            UniformDistribution().transform(-0.1)
+
+
+class TestExponential:
+    def test_inverse_cdf(self):
+        dist = ExponentialDistribution(rate=2.0)
+        u = 0.5
+        assert dist.transform(u) == pytest.approx(-math.log1p(-u) / 2.0)
+        assert dist.transform(0.0) == 0.0
+
+    def test_monotone_in_u(self):
+        dist = ExponentialDistribution(rate=1.0)
+        assert dist.transform(0.9) > dist.transform(0.1)
+
+
+class TestDiscrete:
+    def test_uniform_support(self):
+        dist = DiscreteDistribution(values=("a", "b", "c"))
+        assert dist.transform(0.0) == "a"
+        assert dist.transform(0.34) == "b"
+        assert dist.transform(0.99) == "c"
+
+    def test_weighted_support(self):
+        dist = DiscreteDistribution(values=(0, 1), weights=(3.0, 1.0))
+        assert dist.transform(0.5) == 0
+        assert dist.transform(0.9) == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution(values=())
+        with pytest.raises(ValueError):
+            DiscreteDistribution(values=(1, 2), weights=(1.0,))
+        with pytest.raises(ValueError):
+            DiscreteDistribution(values=(1, 2), weights=(-1.0, 0.0))
+
+
+class TestSeed:
+    def test_range(self):
+        dist = SeedDistribution(bits=8)
+        assert dist.transform(0.0) == 0
+        assert dist.transform(0.999999) == 255
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            SeedDistribution(bits=0)
+        with pytest.raises(ValueError):
+            SeedDistribution(bits=64)

@@ -1,0 +1,150 @@
+"""Tests for task graphs, provider grouping and the Algorithm-1 builder."""
+
+import pytest
+
+from repro.auctions.standard_auction import StandardAuction
+from repro.community.workload import StandardAuctionWorkload
+from repro.core.task_graph import (
+    Task,
+    TaskGraph,
+    TaskGraphError,
+    assign_provider_groups,
+    build_standard_auction_graph,
+    partition_users,
+)
+
+
+def noop(inputs, bids, seed):
+    return None
+
+
+class TestTaskAndGraphStructure:
+    def test_task_requires_executors(self):
+        with pytest.raises(TaskGraphError):
+            Task("t", (), (), noop)
+        with pytest.raises(TaskGraphError):
+            Task("", (), ("p0",), noop)
+        with pytest.raises(TaskGraphError):
+            Task("t", (), ("p0", "p0"), noop)
+
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph()
+        graph.add(Task("t", (), ("p0",), noop))
+        with pytest.raises(TaskGraphError):
+            graph.add(Task("t", (), ("p0",), noop))
+
+    def test_topological_order(self):
+        graph = TaskGraph()
+        graph.add(Task("c", ("a", "b"), ("p0",), noop))
+        graph.add(Task("a", (), ("p0",), noop))
+        graph.add(Task("b", ("a",), ("p0",), noop))
+        order = graph.topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detection(self):
+        graph = TaskGraph()
+        graph.add(Task("a", ("b",), ("p0",), noop))
+        graph.add(Task("b", ("a",), ("p0",), noop))
+        with pytest.raises(TaskGraphError):
+            graph.topological_order()
+
+    def test_unknown_dependency_detected(self):
+        graph = TaskGraph()
+        graph.add(Task("a", ("ghost",), ("p0",), noop))
+        with pytest.raises(TaskGraphError):
+            graph.topological_order()
+
+    def test_validate_executor_counts_and_final_task(self):
+        providers = ["p0", "p1", "p2", "p3"]
+        graph = TaskGraph()
+        graph.add(Task("work", (), ("p0", "p1"), noop))
+        graph.add(Task("final", ("work",), tuple(providers), noop))
+        graph.final_task = "final"
+        graph.validate(providers, k=1)
+        # k=2 would require 3 executors on "work".
+        with pytest.raises(TaskGraphError):
+            graph.validate(providers, k=2)
+
+    def test_validate_requires_final_task_by_all(self):
+        providers = ["p0", "p1"]
+        graph = TaskGraph()
+        graph.add(Task("final", (), ("p0",), noop))
+        graph.final_task = "final"
+        with pytest.raises(TaskGraphError):
+            graph.validate(providers, k=0)
+
+    def test_validate_requires_everything_feeds_final(self):
+        providers = ["p0", "p1"]
+        graph = TaskGraph()
+        graph.add(Task("orphan", (), tuple(providers), noop))
+        graph.add(Task("final", (), tuple(providers), noop))
+        graph.final_task = "final"
+        with pytest.raises(TaskGraphError):
+            graph.validate(providers, k=0)
+
+
+class TestGrouping:
+    def test_max_parallelism_grouping(self):
+        groups = assign_provider_groups([f"p{i}" for i in range(8)], k=1)
+        assert len(groups) == 4
+        assert all(len(g) == 2 for g in groups)
+
+    def test_remainder_spread(self):
+        groups = assign_provider_groups([f"p{i}" for i in range(8)], k=2)
+        assert len(groups) == 2
+        assert sorted(len(g) for g in groups) == [4, 4]
+        groups = assign_provider_groups([f"p{i}" for i in range(7)], k=1)
+        assert len(groups) == 3
+        assert sorted(len(g) for g in groups) == [2, 2, 3]
+
+    def test_explicit_group_count(self):
+        groups = assign_provider_groups([f"p{i}" for i in range(8)], k=1, num_groups=2)
+        assert len(groups) == 2
+        with pytest.raises(ValueError):
+            assign_provider_groups([f"p{i}" for i in range(8)], k=1, num_groups=5)
+
+    def test_too_few_providers(self):
+        with pytest.raises(ValueError):
+            assign_provider_groups(["p0"], k=1)
+
+    def test_partition_users(self):
+        chunks = partition_users([f"u{i}" for i in range(10)], 4)
+        assert len(chunks) == 4
+        assert sorted(len(c) for c in chunks) == [2, 2, 3, 3]
+        assert sorted(sum(chunks, [])) == sorted(f"u{i}" for i in range(10))
+
+    def test_partition_users_more_groups_than_users(self):
+        chunks = partition_users(["u0"], 3)
+        assert len(chunks) == 3
+        assert sum(len(c) for c in chunks) == 1
+
+
+class TestStandardAuctionGraph:
+    def test_structure_matches_algorithm_1(self):
+        mechanism = StandardAuction(epsilon=0.5)
+        bids = StandardAuctionWorkload(seed=0).generate(8, 4)
+        providers = [f"q{i}" for i in range(4)]
+        graph = build_standard_auction_graph(mechanism, bids, providers, k=1)
+        names = set(graph.tasks)
+        assert "alloc" in names and "final" in names
+        payment_tasks = [n for n in names if n.startswith("pay/")]
+        assert len(payment_tasks) == 2  # ⌊4 / (1+1)⌋ groups
+        assert set(graph.task("final").depends_on) == {"alloc", *payment_tasks}
+        assert set(graph.task("alloc").executors) == set(providers)
+        assert set(graph.task("final").executors) == set(providers)
+
+    def test_graph_executes_to_same_result_as_run(self):
+        mechanism = StandardAuction(epsilon=0.5)
+        bids = StandardAuctionWorkload(seed=1).generate(6, 3)
+        providers = ["p0", "p1", "p2"]
+        graph = build_standard_auction_graph(mechanism, bids, providers, k=0, num_groups=3)
+        seed = 777
+        values = {}
+        for name in graph.topological_order():
+            task = graph.task(name)
+            inputs = {dep: values[dep] for dep in task.depends_on}
+            values[name] = task.fn(inputs, bids, seed)
+        result = values["final"]
+        allocation, welfare = mechanism.solve_allocation(bids, seed)
+        payments = mechanism.payments_for_users(bids, bids.user_ids, allocation, welfare, seed)
+        assert result == mechanism.assemble(bids, allocation, payments)

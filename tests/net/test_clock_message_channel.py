@@ -1,0 +1,87 @@
+"""Tests for virtual clocks, messages and reliable channels."""
+
+import pytest
+
+from repro.net.channel import ReliableChannel
+from repro.net.clock import VirtualClock
+from repro.net.message import Message
+
+
+class TestVirtualClock:
+    def test_advance_to_is_monotone(self):
+        clock = VirtualClock()
+        clock.advance_to(1.0)
+        clock.advance_to(0.5)
+        assert clock.now == pytest.approx(1.0)
+
+    def test_charge_accumulates_busy_time(self):
+        clock = VirtualClock()
+        clock.charge(0.2)
+        clock.charge(0.3)
+        assert clock.now == pytest.approx(0.5)
+        assert clock.busy == pytest.approx(0.5)
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge(-0.1)
+
+    def test_compute_scale_applies_to_charges(self):
+        clock = VirtualClock(compute_scale=0.5)
+        clock.charge(1.0)
+        assert clock.now == pytest.approx(0.5)
+
+    def test_copy_is_independent(self):
+        clock = VirtualClock()
+        clock.charge(1.0)
+        other = clock.copy()
+        other.charge(1.0)
+        assert clock.now == pytest.approx(1.0)
+        assert other.now == pytest.approx(2.0)
+
+
+class TestMessage:
+    def test_create_estimates_size(self):
+        message = Message.create("a", "b", {"data": "x" * 100}, tag="t")
+        assert message.size_bytes > 100
+
+    def test_message_ids_are_unique_and_increasing(self):
+        first = Message.create("a", "b", 1)
+        second = Message.create("a", "b", 2)
+        assert second.msg_id > first.msg_id
+
+    def test_timer_detection(self):
+        timer = Message.create("a", "a", None, tag="__timer__/deadline")
+        regular = Message.create("a", "b", None, tag="x")
+        assert timer.is_timer()
+        assert not regular.is_timer()
+
+
+class TestReliableChannel:
+    def test_push_pop_roundtrip(self):
+        channel = ReliableChannel("a", "b")
+        message = Message.create("a", "b", "hello")
+        channel.push(message)
+        assert len(channel) == 1
+        popped = channel.pop(message.msg_id)
+        assert popped.payload == "hello"
+        assert len(channel) == 0
+        assert channel.delivered_count == 1
+
+    def test_push_wrong_endpoints_rejected(self):
+        channel = ReliableChannel("a", "b")
+        with pytest.raises(ValueError):
+            channel.push(Message.create("a", "c", "oops"))
+
+    def test_pop_unknown_id_raises(self):
+        channel = ReliableChannel("a", "b")
+        with pytest.raises(KeyError):
+            channel.pop(12345)
+
+    def test_earliest_undelivered(self):
+        channel = ReliableChannel("a", "b")
+        assert channel.earliest_undelivered() is None
+        first = Message.create("a", "b", 1, send_time=1.0)
+        second = Message.create("a", "b", 2, send_time=0.5)
+        channel.push(first)
+        channel.push(second)
+        assert channel.earliest_undelivered() is second

@@ -1,0 +1,168 @@
+"""Tests for the discrete-event network simulator."""
+
+import pytest
+
+from repro.net.latency import ConstantLatencyModel
+from repro.net.message import Message
+from repro.net.network import QuiescenceError, SimNetwork
+from repro.net.node import Node, NodeContext
+
+
+class Echo(Node):
+    """Replies to every "ping" with a "pong" and finishes after one exchange."""
+
+    def on_message(self, ctx: NodeContext, message: Message) -> None:
+        if message.payload == "ping":
+            ctx.send(message.sender, "pong")
+        elif message.payload == "pong":
+            self.finish("done")
+
+
+class Starter(Echo):
+    def __init__(self, node_id: str, target: str) -> None:
+        super().__init__(node_id)
+        self.target = target
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.send(self.target, "ping")
+
+
+class TimerNode(Node):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.set_timer(0.5, "wake")
+
+    def on_message(self, ctx: NodeContext, message: Message) -> None:
+        if message.is_timer():
+            self.finish(ctx.now())
+
+
+class Charger(Node):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.charge(0.25)
+        self.finish("charged")
+
+    def on_message(self, ctx, message):  # pragma: no cover - never called
+        pass
+
+
+class LoopForever(Node):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.send(self.node_id if False else ctx.peers[1], 0)
+
+    def on_message(self, ctx: NodeContext, message: Message) -> None:
+        ctx.send(message.sender, message.payload + 1)
+
+
+class TestBasicExecution:
+    def test_ping_pong_completes(self):
+        net = SimNetwork()
+        net.add_node(Starter("a", target="b"))
+        net.add_node(Echo("b"))
+        stats = net.run()
+        assert net.node("a").finished
+        assert net.node("a").output == "done"
+        assert stats.messages_delivered == 2
+
+    def test_duplicate_node_ids_rejected(self):
+        net = SimNetwork()
+        net.add_node(Echo("a"))
+        with pytest.raises(ValueError):
+            net.add_node(Echo("a"))
+
+    def test_unknown_recipient_raises(self):
+        class Bad(Node):
+            def on_start(self, ctx):
+                ctx.send("ghost", "boo")
+
+            def on_message(self, ctx, message):
+                pass
+
+        net = SimNetwork()
+        net.add_node(Bad("a"))
+        with pytest.raises(KeyError):
+            net.run()
+
+    def test_add_node_after_start_rejected(self):
+        net = SimNetwork()
+        net.add_node(Echo("a"))
+        net.start()
+        with pytest.raises(RuntimeError):
+            net.add_node(Echo("b"))
+
+    def test_quiescence_error_on_livelock(self):
+        net = SimNetwork()
+        net.add_node(LoopForever("a"))
+        net.add_node(LoopForever("b"))
+        with pytest.raises(QuiescenceError):
+            net.run(max_steps=50)
+
+
+class TestVirtualTime:
+    def test_latency_advances_clocks(self):
+        net = SimNetwork(latency_model=ConstantLatencyModel(0.1))
+        net.add_node(Starter("a", target="b"))
+        net.add_node(Echo("b"))
+        stats = net.run()
+        # Two hops of 0.1 s each on the critical path.
+        assert stats.elapsed_time == pytest.approx(0.2)
+
+    def test_timer_fires_at_virtual_time(self):
+        net = SimNetwork()
+        net.add_node(TimerNode("t"))
+        net.run()
+        assert net.node("t").output == pytest.approx(0.5)
+
+    def test_explicit_charge_counts_as_busy_time(self):
+        net = SimNetwork()
+        net.add_node(Charger("c"))
+        stats = net.run()
+        assert stats.elapsed_time == pytest.approx(0.25)
+        assert stats.node_busy["c"] == pytest.approx(0.25)
+
+    def test_messages_to_finished_nodes_are_dropped(self):
+        class Sender(Node):
+            def on_start(self, ctx):
+                ctx.send("sink", 1)
+                ctx.send("sink", 2)
+
+            def on_message(self, ctx, message):
+                pass
+
+        class Sink(Node):
+            def on_message(self, ctx, message):
+                self.finish(message.payload)
+
+        net = SimNetwork()
+        net.add_node(Sender("src"))
+        net.add_node(Sink("sink"))
+        stats = net.run()
+        assert net.node("sink").output in (1, 2)
+        assert stats.messages_dropped >= 1
+
+    def test_stats_group_traffic_by_block_path(self):
+        class Tagged(Node):
+            def on_start(self, ctx):
+                ctx.send("b", 1, tag="blk|x")
+
+            def on_message(self, ctx, message):
+                self.finish(None)
+
+        class Receiver(Node):
+            def on_message(self, ctx, message):
+                self.finish(None)
+
+        net = SimNetwork()
+        net.add_node(Tagged("a"))
+        net.add_node(Receiver("b"))
+        stats = net.run()
+        assert stats.messages_by_tag.get("blk") == 1
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            net = SimNetwork(latency_model=ConstantLatencyModel(0.01), seed=3)
+            net.add_node(Starter("a", target="b"))
+            net.add_node(Echo("b"))
+            stats = net.run()
+            return stats.elapsed_time, stats.messages_delivered
+
+        assert run_once() == run_once()

@@ -1,0 +1,98 @@
+"""Tests for message schedulers (fairness and ordering)."""
+
+import random
+
+import pytest
+
+from repro.net.message import Message
+from repro.net.scheduler import (
+    AdversarialScheduler,
+    FairScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+def make_messages():
+    return [
+        Message.create("a", "b", 1, send_time=0.0, arrival_time=0.3),
+        Message.create("b", "c", 2, send_time=0.0, arrival_time=0.1),
+        Message.create("c", "a", 3, send_time=0.0, arrival_time=0.2),
+    ]
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestFairScheduler:
+    def test_selects_earliest_arrival(self, rng):
+        messages = make_messages()
+        selected = FairScheduler().select(messages, rng)
+        assert selected.payload == 2
+
+    def test_ties_broken_by_message_id(self, rng):
+        first = Message.create("a", "b", "x", arrival_time=0.5)
+        second = Message.create("a", "c", "y", arrival_time=0.5)
+        assert FairScheduler().select([second, first], rng) is first
+
+
+class TestRoundRobinScheduler:
+    def test_rotates_over_recipients(self, rng):
+        scheduler = RoundRobinScheduler(order=["a", "b", "c"])
+        messages = make_messages()
+        picks = []
+        pool = list(messages)
+        while pool:
+            chosen = scheduler.select(pool, rng)
+            picks.append(chosen.recipient)
+            pool.remove(chosen)
+        assert set(picks) == {"a", "b", "c"}
+
+    def test_skips_recipients_without_traffic(self, rng):
+        scheduler = RoundRobinScheduler(order=["z", "b"])
+        messages = [Message.create("a", "b", 1, arrival_time=0.1)]
+        assert scheduler.select(messages, rng).recipient == "b"
+
+
+class TestRandomScheduler:
+    def test_all_messages_eventually_selected(self, rng):
+        scheduler = RandomScheduler()
+        pool = make_messages()
+        seen = set()
+        while pool:
+            chosen = scheduler.select(pool, rng)
+            seen.add(chosen.msg_id)
+            pool.remove(chosen)
+        assert len(seen) == 3
+
+
+class TestAdversarialScheduler:
+    def test_defers_targeted_traffic(self, rng):
+        scheduler = AdversarialScheduler(targets=frozenset({"a"}))
+        targeted = Message.create("a", "b", "t", arrival_time=0.0)
+        clean = Message.create("b", "c", "c", arrival_time=1.0)
+        # Even though the targeted message arrives first, the clean one is delivered.
+        assert scheduler.select([targeted, clean], rng) is clean
+
+    def test_fairness_budget_forces_delivery(self, rng):
+        scheduler = AdversarialScheduler(targets=frozenset({"a"}), max_deferrals=3)
+        targeted = Message.create("a", "b", "t", arrival_time=0.0)
+        clean_pool = [
+            Message.create("b", "c", i, arrival_time=1.0 + i) for i in range(10)
+        ]
+        deliveries = []
+        pool = [targeted] + clean_pool
+        while pool:
+            chosen = scheduler.select(pool, rng)
+            deliveries.append(chosen)
+            pool.remove(chosen)
+        # The targeted message is not starved forever: it appears within the first
+        # max_deferrals+1 deliveries.
+        assert targeted in deliveries[: scheduler.max_deferrals + 1]
+
+    def test_only_targeted_traffic_left_is_delivered(self, rng):
+        scheduler = AdversarialScheduler(targets=frozenset({"a"}))
+        targeted = Message.create("a", "b", "t", arrival_time=0.0)
+        assert scheduler.select([targeted], rng) is targeted

@@ -1,0 +1,69 @@
+"""Tests for canonical encoding and size estimation."""
+
+import pytest
+
+from repro.auctions.base import ProviderAsk, UserBid
+from repro.net.serialization import UnsupportedPayloadError, canonical_encode, estimate_size
+
+
+class TestCanonicalEncode:
+    def test_scalars_round_trip_deterministically(self):
+        for value in [None, True, False, 0, -17, 2**80, 0.25, -1.5, "hello", b"\x00\x01"]:
+            assert canonical_encode(value) == canonical_encode(value)
+
+    def test_distinguishes_types(self):
+        assert canonical_encode(1) != canonical_encode(1.0)
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode("1") != canonical_encode(1)
+        assert canonical_encode(b"a") != canonical_encode("a")
+
+    def test_dict_insertion_order_irrelevant(self):
+        a = {"x": 1, "y": 2, "z": [3, 4]}
+        b = {"z": [3, 4], "y": 2, "x": 1}
+        assert canonical_encode(a) == canonical_encode(b)
+
+    def test_different_dicts_differ(self):
+        assert canonical_encode({"x": 1}) != canonical_encode({"x": 2})
+        assert canonical_encode({"x": 1}) != canonical_encode({"y": 1})
+
+    def test_nested_structures(self):
+        value = {"users": [("u1", 0.5), ("u2", 1.0)], "meta": {"k": 2}}
+        assert canonical_encode(value) == canonical_encode(dict(reversed(list(value.items()))))
+
+    def test_sets_are_order_insensitive(self):
+        assert canonical_encode({3, 1, 2}) == canonical_encode({2, 3, 1})
+
+    def test_dataclass_encoding_includes_type_name(self):
+        bid = UserBid("u1", 1.0, 0.5)
+        ask = ProviderAsk("u1", 1.0, 0.5)
+        assert canonical_encode(bid) != canonical_encode(ask)
+        assert canonical_encode(bid) == canonical_encode(UserBid("u1", 1.0, 0.5))
+
+    def test_dataclass_field_changes_change_encoding(self):
+        assert canonical_encode(UserBid("u1", 1.0, 0.5)) != canonical_encode(
+            UserBid("u1", 1.0, 0.6)
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(UnsupportedPayloadError):
+            canonical_encode(object())
+
+    def test_list_vs_tuple_equivalent(self):
+        assert canonical_encode([1, 2]) == canonical_encode((1, 2))
+
+
+class TestEstimateSize:
+    def test_scalars_have_small_positive_size(self):
+        for value in [None, True, 3, 0.5, "abc", b"xyz"]:
+            assert estimate_size(value) > 0
+
+    def test_larger_payloads_have_larger_size(self):
+        small = [UserBid(f"u{i}", 1.0, 0.5) for i in range(5)]
+        large = [UserBid(f"u{i}", 1.0, 0.5) for i in range(50)]
+        assert estimate_size(large) > estimate_size(small)
+
+    def test_string_size_scales_with_length(self):
+        assert estimate_size("a" * 100) > estimate_size("a" * 10)
+
+    def test_unsupported_types_do_not_raise(self):
+        assert estimate_size(object()) > 0

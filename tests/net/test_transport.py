@@ -1,0 +1,80 @@
+"""Tests for the threaded in-process transport."""
+
+import pytest
+
+from repro.net.message import Message
+from repro.net.node import Node, NodeContext
+from repro.net.transport import ThreadedNetwork
+
+
+class Collector(Node):
+    """Finishes once it has received one value from every peer."""
+
+    def __init__(self, node_id, expected):
+        super().__init__(node_id)
+        self.expected = expected
+        self.values = {}
+
+    def on_start(self, ctx: NodeContext) -> None:
+        for peer in ctx.peers:
+            if peer != self.node_id:
+                ctx.send(peer, f"from-{self.node_id}")
+
+    def on_message(self, ctx: NodeContext, message: Message) -> None:
+        self.values[message.sender] = message.payload
+        if len(self.values) >= self.expected:
+            self.finish(tuple(sorted(self.values.values())))
+
+
+class Failing(Node):
+    def on_start(self, ctx: NodeContext) -> None:
+        raise RuntimeError("boom")
+
+    def on_message(self, ctx, message):  # pragma: no cover
+        pass
+
+
+class TimerWaiter(Node):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.set_timer(0.05, "tick")
+
+    def on_message(self, ctx: NodeContext, message: Message) -> None:
+        if message.is_timer():
+            self.finish("ticked")
+
+
+class TestThreadedNetwork:
+    def test_all_to_all_exchange_completes(self):
+        net = ThreadedNetwork()
+        ids = ["a", "b", "c"]
+        for node_id in ids:
+            net.add_node(Collector(node_id, expected=2))
+        outputs = net.run(timeout=10.0)
+        assert set(outputs) == set(ids)
+        assert outputs["a"] == ("from-b", "from-c")
+
+    def test_worker_exception_is_surfaced(self):
+        net = ThreadedNetwork()
+        net.add_node(Failing("f"))
+        with pytest.raises(RuntimeError, match="boom"):
+            net.run(timeout=5.0)
+
+    def test_duplicate_ids_rejected(self):
+        net = ThreadedNetwork()
+        net.add_node(Collector("a", 1))
+        with pytest.raises(ValueError):
+            net.add_node(Collector("a", 1))
+
+    def test_timers_fire(self):
+        net = ThreadedNetwork()
+        net.add_node(TimerWaiter("t"))
+        outputs = net.run(timeout=5.0)
+        assert outputs.get("t") == "ticked"
+
+    def test_traffic_counters_increase(self):
+        net = ThreadedNetwork()
+        for node_id in ["a", "b"]:
+            net.add_node(Collector(node_id, expected=1))
+        net.run(timeout=10.0)
+        assert net.messages_delivered >= 2
+        assert net.bytes_delivered > 0

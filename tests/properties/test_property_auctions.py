@@ -1,0 +1,110 @@
+"""Property-based tests for the auction mechanisms' invariants.
+
+These check, over randomly generated instances, the properties the paper relies on:
+feasibility, budget balance, individual rationality, losers-pay-nothing, and (for the
+double auction) uniform pricing.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auctions.base import BidVector, ProviderAsk, UserBid
+from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.greedy import GreedyStandardAuction
+from repro.auctions.standard_auction import StandardAuction
+from repro.auctions.welfare import budget_surplus, provider_utility, social_welfare, user_utility
+
+# -- instance strategies -----------------------------------------------------------------
+
+user_bids = st.builds(
+    UserBid,
+    user_id=st.integers(min_value=0, max_value=999).map(lambda i: f"u{i:03d}"),
+    unit_value=st.floats(min_value=0.01, max_value=5.0),
+    demand=st.floats(min_value=0.01, max_value=2.0),
+)
+
+provider_asks = st.builds(
+    ProviderAsk,
+    provider_id=st.integers(min_value=0, max_value=99).map(lambda i: f"p{i:02d}"),
+    unit_cost=st.floats(min_value=0.0, max_value=2.0),
+    capacity=st.floats(min_value=0.0, max_value=5.0),
+)
+
+
+def _dedupe(items, key):
+    seen = {}
+    for item in items:
+        seen.setdefault(key(item), item)
+    return tuple(seen.values())
+
+
+bid_vectors = st.builds(
+    lambda users, providers: BidVector(
+        _dedupe(users, lambda u: u.user_id), _dedupe(providers, lambda p: p.provider_id)
+    ),
+    st.lists(user_bids, min_size=1, max_size=10),
+    st.lists(provider_asks, min_size=1, max_size=4),
+)
+
+
+class TestDoubleAuctionInvariants:
+    @given(bid_vectors)
+    @settings(max_examples=120, deadline=None)
+    def test_feasibility(self, bids):
+        result = DoubleAuction().run(bids)
+        result.allocation.check_feasible(bids)
+
+    @given(bid_vectors)
+    @settings(max_examples=120, deadline=None)
+    def test_budget_balance(self, bids):
+        result = DoubleAuction().run(bids)
+        assert budget_surplus(result.payments) >= -1e-9
+
+    @given(bid_vectors)
+    @settings(max_examples=120, deadline=None)
+    def test_individual_rationality(self, bids):
+        result = DoubleAuction().run(bids)
+        for user_id in result.allocation.winners():
+            assert user_utility(bids, result, user_id) >= -1e-9
+        for provider_id in result.allocation.providers_used():
+            assert provider_utility(bids, result, provider_id) >= -1e-9
+
+    @given(bid_vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_welfare_is_nonnegative(self, bids):
+        result = DoubleAuction().run(bids)
+        assert social_welfare(bids, result.allocation) >= -1e-9
+
+    @given(bid_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_determinism(self, bids):
+        assert DoubleAuction().run(bids) == DoubleAuction().run(bids)
+
+
+class TestStandardAuctionInvariants:
+    @given(bid_vectors, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_single_provider_feasibility(self, bids, seed):
+        result = StandardAuction(epsilon=0.6).run(bids, random.Random(seed))
+        result.allocation.check_feasible(bids, single_provider=True)
+
+    @given(bid_vectors, st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_losers_pay_nothing_and_winners_are_rational(self, bids, seed):
+        result = StandardAuction(epsilon=0.6).run(bids, random.Random(seed))
+        winners = set(result.allocation.winners())
+        for user in bids.users:
+            payment = result.payments.user_payment(user.user_id)
+            if user.user_id not in winners:
+                assert payment == 0.0
+            else:
+                assert payment <= user.total_value + 1e-6
+
+    @given(bid_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_baseline_feasible(self, bids):
+        GreedyStandardAuction().run(bids).allocation.check_feasible(
+            bids, single_provider=True
+        )

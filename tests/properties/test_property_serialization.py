@@ -1,0 +1,70 @@
+"""Property-based tests for canonical encoding and bit encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.bit_encoding import bid_to_bits, bits_to_bid
+from repro.net.serialization import canonical_encode, estimate_size
+
+# Strategy for payloads the canonical encoder must support.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**64), max_value=2**64),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestCanonicalEncodeProperties:
+    @given(payloads)
+    @settings(max_examples=150)
+    def test_encoding_is_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, max_size=6))
+    @settings(max_examples=100)
+    def test_dict_order_independence(self, mapping):
+        items = list(mapping.items())
+        shuffled = dict(reversed(items))
+        assert canonical_encode(mapping) == canonical_encode(shuffled)
+
+    @given(payloads, payloads)
+    @settings(max_examples=150)
+    def test_equal_values_encode_equal(self, a, b):
+        if a == b and type(a) is type(b):
+            assert canonical_encode(a) == canonical_encode(b)
+
+    @given(payloads)
+    @settings(max_examples=100)
+    def test_estimate_size_is_positive(self, value):
+        assert estimate_size(value) >= 1
+
+
+class TestBitEncodingProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1e-9, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_bid_round_trip(self, unit_value, demand):
+        assert bits_to_bid(bid_to_bits(unit_value, demand)) == (unit_value, demand)
+
+    @given(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_bit_stream_is_fixed_width_binary(self, unit_value, demand):
+        bits = bid_to_bits(unit_value, demand)
+        assert len(bits) == 128
+        assert set(bits) <= {0, 1}

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.mechanism == "double"
+        assert args.users == 50
+
+    def test_fig4_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.users == [100, 200, 400, 600, 800, 1000]
+        assert args.k == [1, 2, 3]
+
+    def test_fig5_arguments(self):
+        args = build_parser().parse_args(["fig5", "--users", "10", "20", "--parallelism", "4"])
+        assert args.users == [10, 20]
+        assert args.parallelism == [4]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_double(self, capsys):
+        assert main(["run", "--mechanism", "double", "--users", "12", "--providers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "outcome" in out
+        assert "agreed (x, p)" in out
+
+    def test_run_standard_parallel(self, capsys):
+        code = main(
+            [
+                "run",
+                "--mechanism",
+                "standard",
+                "--users",
+                "6",
+                "--providers",
+                "4",
+                "--parallel",
+                "--epsilon",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        assert "winning users" in capsys.readouterr().out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--users", "10", "--k", "1", "--series"]) == 0
+        out = capsys.readouterr().out
+        assert "centralised" in out
+        assert "distributed k=1" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--users", "6", "--parallelism", "1", "4", "--epsilon", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "p=4" in out
