@@ -10,7 +10,26 @@ Every benchmark reports two times:
   EXPERIMENTS.md.
 """
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything collected under benchmarks/ with the ``bench`` marker.
+
+    ``pytest -m "not bench"`` then gives a fast dev loop, while the plain tier-1
+    command still collects and runs the benchmarks unchanged.
+    """
+    for item in items:
+        try:
+            path = pathlib.Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - exotic collectors
+            continue
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def pytest_addoption(parser):

@@ -16,6 +16,12 @@ paper evaluates plus baselines:
   and bound with exact VCG payments; exponential, used as ground truth for small
   instances.
 * :class:`~repro.auctions.greedy.GreedyStandardAuction` — fast non-truthful baseline.
+
+The standard auction additionally exists in two engines with bit-identical results:
+the readable reference above and the NumPy-backed
+:class:`~repro.auctions.engine.VectorizedStandardAuction` (see
+:mod:`repro.auctions.engine` and DESIGN.md); call sites switch between them with
+:func:`~repro.auctions.engine.resolve_engine`.
 """
 
 from repro.auctions.base import (
@@ -28,6 +34,13 @@ from repro.auctions.base import (
     UserBid,
 )
 from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    VectorizedStandardAuction,
+    make_standard_auction,
+    resolve_engine,
+)
 from repro.auctions.greedy import GreedyStandardAuction
 from repro.auctions.standard_auction import StandardAuction
 from repro.auctions.validation import (
@@ -50,7 +63,9 @@ __all__ = [
     "AllocationAlgorithm",
     "AuctionResult",
     "BidVector",
+    "DEFAULT_ENGINE",
     "DoubleAuction",
+    "ENGINES",
     "ExactVCGAuction",
     "GreedyStandardAuction",
     "InvalidBidError",
@@ -58,6 +73,9 @@ __all__ = [
     "ProviderAsk",
     "StandardAuction",
     "UserBid",
+    "VectorizedStandardAuction",
+    "make_standard_auction",
+    "resolve_engine",
     "budget_surplus",
     "is_valid_provider_ask",
     "is_valid_user_bid",

@@ -1,0 +1,86 @@
+"""Vectorized batch auction engine (see DESIGN.md).
+
+This package provides a drop-in, NumPy-backed implementation of the standard
+auction's allocation rule plus a parallel/memoised executor for the Clarke-pivot
+payment re-solves:
+
+* :mod:`repro.auctions.engine.kernel` — the batch smoothed-greedy kernel: all
+  randomised restarts of one ``solve_allocation`` call are evaluated as a single
+  NumPy computation instead of a Python loop, with bit-identical results.
+* :mod:`repro.auctions.engine.pivot` — :class:`PivotExecutor`, which runs the
+  per-winner pivot re-solves through a ``concurrent.futures`` thread/process pool
+  and memoises ``solve_allocation`` results by ``(bid-vector hash, seed)``.
+* :mod:`repro.auctions.engine.vectorized` — :class:`VectorizedStandardAuction`,
+  a :class:`~repro.auctions.standard_auction.StandardAuction` subclass that plugs
+  both into the same :class:`~repro.auctions.decomposable.DecomposableMechanism`
+  split, so the distributed simulation can use either engine interchangeably.
+
+The engine contract — same integer seed ⇒ bit-identical allocation, welfare and
+payments as the reference implementation — is locked in by the differential suite
+``tests/auctions/test_engine_equivalence.py``; the default engine everywhere is
+``"reference"`` and is only switched per call site via :func:`resolve_engine`.
+"""
+
+from __future__ import annotations
+
+from repro.auctions.base import AllocationAlgorithm
+from repro.auctions.engine.pivot import PivotExecutor, clear_solve_cache
+from repro.auctions.engine.vectorized import VectorizedStandardAuction
+from repro.auctions.standard_auction import StandardAuction
+
+__all__ = [
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "PivotExecutor",
+    "VectorizedStandardAuction",
+    "clear_solve_cache",
+    "make_standard_auction",
+    "resolve_engine",
+]
+
+#: The engines a call site may select between.
+ENGINES = ("reference", "vectorized")
+
+#: The default stays "reference" (flipped only once the differential suite gates it).
+DEFAULT_ENGINE = "reference"
+
+
+def make_standard_auction(engine: str = DEFAULT_ENGINE, **kwargs) -> StandardAuction:
+    """Build a standard auction for the requested engine.
+
+    ``kwargs`` are forwarded to the mechanism constructor (``epsilon``,
+    ``perturbation``, ``local_search_rounds``, ... plus the vectorized engine's
+    ``pivot_mode``/``pivot_workers`` knobs).
+    """
+    if engine == "reference":
+        kwargs.pop("pivot_mode", None)
+        kwargs.pop("pivot_workers", None)
+        return StandardAuction(**kwargs)
+    if engine == "vectorized":
+        return VectorizedStandardAuction(**kwargs)
+    raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+
+def resolve_engine(algorithm: AllocationAlgorithm, engine: str) -> AllocationAlgorithm:
+    """Return ``algorithm`` re-targeted at the requested engine.
+
+    Only standard auctions have two engines; any other mechanism (e.g. the double
+    auction) is returned unchanged.  The returned mechanism carries over the exact
+    ``restarts`` count of the source (not just ``epsilon``), so the two engines
+    stay seed-for-seed comparable even if the source clamped its restart count.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if not isinstance(algorithm, StandardAuction):
+        return algorithm
+    is_vectorized = isinstance(algorithm, VectorizedStandardAuction)
+    if (engine == "vectorized") == is_vectorized:
+        return algorithm
+    replacement = make_standard_auction(
+        engine,
+        epsilon=algorithm.epsilon,
+        perturbation=algorithm.perturbation,
+        local_search_rounds=algorithm.local_search_rounds,
+    )
+    replacement.restarts = algorithm.restarts
+    return replacement

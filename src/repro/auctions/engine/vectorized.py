@@ -1,0 +1,139 @@
+"""The vectorized standard auction: batch kernel + memoised parallel pivots.
+
+:class:`VectorizedStandardAuction` is a :class:`~repro.auctions.standard_auction.
+StandardAuction` whose two expensive pieces are swapped out:
+
+* ``solve_allocation`` evaluates all greedy restarts through the NumPy batch
+  kernel (:func:`repro.auctions.engine.kernel.batch_greedy_assignments`) and
+  memoises the result in the process-wide solve cache — inside a distributed
+  simulation every provider computes the allocation task on identical inputs, so
+  all but the first computation become cache hits;
+* the per-winner Clarke-pivot re-solves go through a shared
+  :class:`~repro.auctions.engine.pivot.PivotExecutor` (thread/process pool plus
+  the same memo), collapsing the k+1-fold replication of each payment task.
+
+The local-search improvement and the restart selection deliberately reuse the
+reference implementation's own methods on the kernel's assignments: dict insertion
+order — and therefore every float accumulation order — matches the reference, so
+results are bit-identical (the contract of DESIGN.md, enforced by
+``tests/auctions/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.auctions.base import Allocation, BidVector
+from repro.auctions.engine.kernel import (
+    assignment_welfare,
+    batch_greedy_assignments,
+    fast_local_search,
+)
+from repro.auctions.engine.pivot import (
+    PivotExecutor,
+    bid_vector_fingerprint,
+    shared_solve_cache,
+)
+from repro.auctions.standard_auction import _EPS, StandardAuction
+
+__all__ = ["VectorizedStandardAuction"]
+
+
+class VectorizedStandardAuction(StandardAuction):
+    """Vectorized engine behind the same mechanism interface and semantics.
+
+    Args:
+        pivot_mode: how pivot re-solves are executed — ``"auto"`` (default),
+            ``"serial"``, ``"thread"`` or ``"process"``; see :class:`PivotExecutor`.
+        pivot_workers: pool size for the thread/process modes.
+        (remaining arguments as in :class:`StandardAuction`)
+    """
+
+    name = "standard-auction-smoothed-vcg-vectorized"
+    engine = "vectorized"
+
+    def __init__(
+        self,
+        epsilon: float = 0.25,
+        perturbation: float = 0.05,
+        local_search_rounds: int = 1,
+        min_restarts: int = 4,
+        max_restarts: int = 512,
+        pivot_mode: str = "auto",
+        pivot_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(epsilon, perturbation, local_search_rounds, min_restarts, max_restarts)
+        self.pivot_mode = pivot_mode
+        self.pivot_workers = pivot_workers
+        self._executor: Optional[PivotExecutor] = None
+
+    # ------------------------------------------------------------- plumbing --
+    def engine_params(self) -> Tuple[int, float, int]:
+        """The parameters that determine a solve, used in cache keys."""
+        return (self.restarts, self.perturbation, self.local_search_rounds)
+
+    @property
+    def pivot_executor(self) -> PivotExecutor:
+        if self._executor is None:
+            self._executor = PivotExecutor(self.pivot_mode, self.pivot_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the pivot pool (idempotent; a fresh one is created on demand)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __getstate__(self):
+        # Executors do not pickle; workers rebuild their own on demand.
+        state = dict(self.__dict__)
+        state["_executor"] = None
+        return state
+
+    # ------------------------------------------- DecomposableMechanism API --
+    def solve_allocation(self, bids: BidVector, seed: int) -> Tuple[Allocation, float]:
+        """Batch-kernel version of the reference Step 1, memoised process-wide."""
+        key = (self.engine_params(), bid_vector_fingerprint(bids), seed)
+        return self._solve_cached(bids, seed, key)
+
+    def _solve_cached(self, bids: BidVector, seed: int, key) -> Tuple[Allocation, float]:
+        """Solve under an externally derived cache key (the pivot executor's path)."""
+        cache = shared_solve_cache()
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._solve_uncached(bids, seed)
+        cache.put(key, result)
+        return result
+
+    def _solve_uncached(self, bids: BidVector, seed: int) -> Tuple[Allocation, float]:
+        # Filtering and allocation construction are the reference's own helpers,
+        # so the two engines cannot drift apart on eligibility rules.
+        users = self.eligible_users(bids)
+        capacities = self.eligible_capacities(bids)
+        if not users or not capacities:
+            return Allocation.empty(), 0.0
+
+        assignments = batch_greedy_assignments(
+            users, capacities, seed, self.restarts, self.perturbation
+        )
+        values = {u.user_id: u.total_value for u in users}
+        demands = {u.user_id: u.demand for u in users}
+        best_assignment: Dict[str, str] = {}
+        best_welfare = -1.0
+        for assignment in assignments:
+            assignment = fast_local_search(
+                users, capacities, assignment, values, demands, self.local_search_rounds
+            )
+            welfare = assignment_welfare(assignment, values)
+            if welfare > best_welfare + _EPS:
+                best_welfare = welfare
+                best_assignment = assignment
+        allocation = self.allocation_from_assignment(users, best_assignment)
+        return allocation, max(best_welfare, 0.0)
+
+    def _pivot_welfares(
+        self, bids: BidVector, user_ids: Sequence[str], seed: int
+    ) -> Dict[str, float]:
+        """Step 2's re-solves, routed through the shared pool + memo."""
+        return self.pivot_executor.pivot_welfares(self, bids, user_ids, seed)

@@ -98,13 +98,41 @@ class StandardAuction(AllocationAlgorithm, DecomposableMechanism):
         return self.assemble(bids, allocation, payments)
 
     # ------------------------------------------- DecomposableMechanism API --
-    def solve_allocation(self, bids: BidVector, seed: int) -> Tuple[Allocation, float]:
-        """Step 1: randomised smoothed greedy + local search over the full bid vector."""
-        users = [
+    @staticmethod
+    def eligible_users(bids: BidVector) -> List[UserBid]:
+        """The users that can participate in the allocation, in bid-vector order.
+
+        Shared by both engines: the vectorized kernel must filter identically or
+        the engines' results (and the providers recomputing them) diverge.
+        """
+        return [
             bid for bid in bids.users
             if is_valid_user_bid(bid) and bid.unit_value > 0 and bid.demand > _EPS
         ]
-        capacities = {p.provider_id: p.capacity for p in bids.providers if p.capacity > _EPS}
+
+    @staticmethod
+    def eligible_capacities(bids: BidVector) -> Dict[str, float]:
+        """Provider capacities that can host anything, in bid-vector order (shared)."""
+        return {p.provider_id: p.capacity for p in bids.providers if p.capacity > _EPS}
+
+    @staticmethod
+    def allocation_from_assignment(
+        users: List[UserBid], assignment: Dict[str, str]
+    ) -> Allocation:
+        """Materialise the winning assignment as an all-or-nothing allocation (shared)."""
+        return Allocation.from_dict(
+            {
+                (user.user_id, provider_id): user.demand
+                for user in users
+                for provider_id in [assignment.get(user.user_id)]
+                if provider_id is not None
+            }
+        )
+
+    def solve_allocation(self, bids: BidVector, seed: int) -> Tuple[Allocation, float]:
+        """Step 1: randomised smoothed greedy + local search over the full bid vector."""
+        users = self.eligible_users(bids)
+        capacities = self.eligible_capacities(bids)
         if not users or not capacities:
             return Allocation.empty(), 0.0
 
@@ -118,14 +146,7 @@ class StandardAuction(AllocationAlgorithm, DecomposableMechanism):
             if welfare > best_welfare + _EPS:
                 best_welfare = welfare
                 best_assignment = assignment
-        allocation = Allocation.from_dict(
-            {
-                (user.user_id, provider_id): user.demand
-                for user in users
-                for provider_id in [best_assignment.get(user.user_id)]
-                if provider_id is not None
-            }
-        )
+        allocation = self.allocation_from_assignment(users, best_assignment)
         return allocation, max(best_welfare, 0.0)
 
     def payments_for_users(
@@ -144,12 +165,22 @@ class StandardAuction(AllocationAlgorithm, DecomposableMechanism):
         clamped to the declared value of the allocated bundle, which restores
         individual rationality (a standard fix for approximate-VCG mechanisms) at a
         negligible cost in truthfulness.
+
+        The re-solves themselves go through :meth:`_pivot_welfares`, the hook the
+        vectorized engine overrides to run them through a pool with memoisation.
         """
+        winners = set(allocation.winners())
+        pivot_welfares = self._pivot_welfares(
+            bids, [uid for uid in user_ids if uid in winners], seed
+        )
 
         def welfare_without(user_id: str) -> float:
-            reduced = bids.without_user(user_id)
-            _, pivot_welfare = self.solve_allocation(reduced, self._pivot_seed(seed, user_id))
-            return pivot_welfare
+            # Total over all users, like the pre-batching closure: the prefetch
+            # above covers every user clarke_pivot_payments asks about today,
+            # but a miss falls back to a single re-solve instead of a KeyError.
+            if user_id in pivot_welfares:
+                return pivot_welfares[user_id]
+            return self._pivot_welfares(bids, [user_id], seed)[user_id]
 
         payments = clarke_pivot_payments(bids, allocation, user_ids, welfare_without)
         clamped: Dict[str, float] = {}
@@ -157,6 +188,17 @@ class StandardAuction(AllocationAlgorithm, DecomposableMechanism):
             allocated_value = bids.user(user_id).unit_value * allocation.user_total(user_id)
             clamped[user_id] = min(payment, allocated_value)
         return clamped
+
+    def _pivot_welfares(
+        self, bids: BidVector, user_ids: Sequence[str], seed: int
+    ) -> Dict[str, float]:
+        """Welfare of the re-solved allocation without each user (one re-solve each)."""
+        welfares: Dict[str, float] = {}
+        for user_id in user_ids:
+            reduced = bids.without_user(user_id)
+            _, pivot_welfare = self.solve_allocation(reduced, self._pivot_seed(seed, user_id))
+            welfares[user_id] = pivot_welfare
+        return welfares
 
     def assemble(
         self,

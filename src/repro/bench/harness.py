@@ -22,11 +22,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.engine import DEFAULT_ENGINE, resolve_engine
 from repro.auctions.standard_auction import StandardAuction
-from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
+from repro.community.workload import (
+    DoubleAuctionWorkload,
+    StandardAuctionWorkload,
+    default_provider_ids,
+)
 from repro.core.config import FrameworkConfig
 from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer
 from repro.net.latency import BandwidthLatencyModel, LatencyModel
+from repro.runtime.batch import BatchAuctionRunner, BatchSummary
 
 __all__ = [
     "ExperimentPoint",
@@ -98,7 +104,7 @@ class Figure4Experiment:
         needed = 2 * k + 1
         if needed > self.num_providers:
             raise ValueError(f"k={k} needs {needed} providers, have {self.num_providers}")
-        return [f"p{j:02d}" for j in range(needed)]
+        return default_provider_ids(needed)
 
     def run_centralized_point(self, num_users: int, instance: int = 0) -> ExperimentPoint:
         bids = self.workload.generate(num_users, self.num_providers, instance=instance)
@@ -143,9 +149,32 @@ class Figure4Experiment:
                 points.append(self.run_distributed_point(n, k))
         return points
 
+    def run_batch(self, num_users: int, k: int, instances: Sequence[int]) -> BatchSummary:
+        """Many independent instances of one (n, k) point through a shared runner.
+
+        This is the community-scenario shape: the same auction round repeated over
+        fresh workload instances, with auctioneer setup amortised across rounds
+        (see :class:`~repro.runtime.batch.BatchAuctionRunner`).
+        """
+        runner = BatchAuctionRunner(
+            self.mechanism,
+            self.workload,
+            num_providers=self.num_providers,
+            config=FrameworkConfig(k=k, parallel=False),
+            executors=self.executors_for_k(k),
+            latency_model=self.latency_model,
+            seed=self.seed,
+            measure_compute=True,
+        )
+        return runner.run_batch(num_users, instances)
+
 
 class Figure5Experiment:
-    """Running time of the standard auction: parallelism p = 1 (centralised), 2, 4."""
+    """Running time of the standard auction: parallelism p = 1 (centralised), 2, 4.
+
+    ``engine`` selects the execution engine of the mechanism ("reference" or
+    "vectorized"); results are bit-identical either way, only speed differs.
+    """
 
     def __init__(
         self,
@@ -153,6 +182,7 @@ class Figure5Experiment:
         p_values: Sequence[int] = (1, 2, 4),
         n_values: Sequence[int] = (25, 50, 75, 100, 125),
         epsilon: float = 0.25,
+        engine: str = DEFAULT_ENGINE,
         latency_model: Optional[LatencyModel] = None,
         seed: int = 0,
     ) -> None:
@@ -160,10 +190,11 @@ class Figure5Experiment:
         self.p_values = tuple(p_values)
         self.n_values = tuple(n_values)
         self.epsilon = epsilon
+        self.engine = engine
         self.latency_model = latency_model if latency_model is not None else default_latency_model()
         self.seed = seed
         self.workload = StandardAuctionWorkload(seed=seed)
-        self.mechanism = StandardAuction(epsilon=epsilon)
+        self.mechanism = resolve_engine(StandardAuction(epsilon=epsilon), engine)
 
     def k_for_parallelism(self, p: int) -> int:
         """The coalition bound giving parallelism ``p`` with m providers: p = ⌊m/(k+1)⌋."""
@@ -172,7 +203,7 @@ class Figure5Experiment:
         return self.num_providers // p - 1
 
     def provider_ids(self) -> List[str]:
-        return [f"p{j:02d}" for j in range(self.num_providers)]
+        return default_provider_ids(self.num_providers)
 
     def run_centralized_point(self, num_users: int, instance: int = 0) -> ExperimentPoint:
         bids = self.workload.generate(num_users, self.num_providers, instance=instance)
@@ -217,3 +248,22 @@ class Figure5Experiment:
             for p in self.p_values:
                 points.append(self.run_distributed_point(n, p))
         return points
+
+    def run_batch(self, num_users: int, p: int, instances: Sequence[int]) -> BatchSummary:
+        """Many instances of one (n, p) point through a shared, engine-aware runner."""
+        if p <= 1:
+            config = None
+        else:
+            config = FrameworkConfig(
+                k=self.k_for_parallelism(p), parallel=True, num_groups=p
+            )
+        runner = BatchAuctionRunner(
+            self.mechanism,
+            self.workload,
+            num_providers=self.num_providers,
+            config=config,
+            latency_model=self.latency_model,
+            seed=self.seed,
+            measure_compute=True,
+        )
+        return runner.run_batch(num_users, instances)

@@ -3,11 +3,17 @@
 Three sub-commands cover the common workflows::
 
     repro-auction run   --mechanism double --users 100 --providers 8 --k 1
+    repro-auction run   --mechanism standard --engine vectorized --users 50
     repro-auction fig4  --users 100 200 400 --k 1 2 3
-    repro-auction fig5  --users 25 50 75 --parallelism 1 2 4
+    repro-auction fig5  --users 25 50 75 --parallelism 1 2 4 --engine vectorized
+    repro-auction batch --mechanism standard --users 50 --rounds 20
 
 ``run`` executes one distributed auction round and prints the outcome; ``fig4`` and
-``fig5`` regenerate the corresponding evaluation figures of the paper as text tables.
+``fig5`` regenerate the corresponding evaluation figures of the paper as text tables;
+``batch`` runs many rounds of one scenario through the amortised
+:class:`~repro.runtime.batch.BatchAuctionRunner`.  ``--engine`` switches standard
+auctions between the reference and the vectorized execution engine (bit-identical
+results — see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -17,12 +23,14 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.engine import DEFAULT_ENGINE, ENGINES, resolve_engine
 from repro.auctions.standard_auction import StandardAuction
 from repro.bench.harness import Figure4Experiment, Figure5Experiment
 from repro.bench.reporting import format_points, format_series
 from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
 from repro.core.config import FrameworkConfig
 from repro.core.framework import DistributedAuctioneer
+from repro.runtime.batch import BatchAuctionRunner
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--k", type=int, default=1, help="tolerated coalition size")
     run.add_argument("--parallel", action="store_true", help="use the parallel allocator")
     run.add_argument("--epsilon", type=float, default=0.25, help="standard-auction accuracy knob")
+    run.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default=DEFAULT_ENGINE,
+        help="execution engine for the standard auction (bit-identical results)",
+    )
     run.add_argument("--seed", type=int, default=0)
 
     fig4 = sub.add_parser("fig4", help="regenerate Figure 4 (double auction running time)")
@@ -55,19 +69,45 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--parallelism", type=int, nargs="+", default=[1, 2, 4])
     fig5.add_argument("--providers", type=int, default=8)
     fig5.add_argument("--epsilon", type=float, default=0.25)
+    fig5.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default=DEFAULT_ENGINE,
+        help="execution engine for the standard auction (bit-identical results)",
+    )
     fig5.add_argument("--seed", type=int, default=0)
     fig5.add_argument("--series", action="store_true", help="print per-series summary")
+
+    batch = sub.add_parser(
+        "batch", help="run many rounds of one scenario with amortised setup"
+    )
+    batch.add_argument("--mechanism", choices=["double", "standard"], default="standard")
+    batch.add_argument("--users", type=int, default=50)
+    batch.add_argument("--providers", type=int, default=8)
+    batch.add_argument("--rounds", type=int, default=10, help="number of workload instances")
+    batch.add_argument("--k", type=int, default=1, help="tolerated coalition size")
+    batch.add_argument("--parallel", action="store_true", help="use the parallel allocator")
+    batch.add_argument("--epsilon", type=float, default=0.25)
+    batch.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default=DEFAULT_ENGINE,
+        help="execution engine for the standard auction (bit-identical results)",
+    )
+    batch.add_argument("--seed", type=int, default=0)
 
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _make_mechanism_and_workload(args: argparse.Namespace):
     if args.mechanism == "double":
-        mechanism = DoubleAuction()
-        workload = DoubleAuctionWorkload(seed=args.seed)
-    else:
-        mechanism = StandardAuction(epsilon=args.epsilon)
-        workload = StandardAuctionWorkload(seed=args.seed)
+        return DoubleAuction(), DoubleAuctionWorkload(seed=args.seed)
+    mechanism = resolve_engine(StandardAuction(epsilon=args.epsilon), args.engine)
+    return mechanism, StandardAuctionWorkload(seed=args.seed)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    mechanism, workload = _make_mechanism_and_workload(args)
     bids = workload.generate(args.users, args.providers)
     provider_ids = bids.provider_ids
     auctioneer = DistributedAuctioneer(
@@ -110,11 +150,38 @@ def _command_fig5(args: argparse.Namespace) -> int:
         p_values=args.parallelism,
         n_values=args.users,
         epsilon=args.epsilon,
+        engine=args.engine,
         seed=args.seed,
     )
     points = experiment.run()
     print(format_series(points) if args.series else format_points(points))
     return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    mechanism, workload = _make_mechanism_and_workload(args)
+    # The mechanism is already engine-resolved by _make_mechanism_and_workload,
+    # so the CLI owns it (and its pivot pool, if any) — release it when done.
+    runner = BatchAuctionRunner(
+        mechanism,
+        workload,
+        num_providers=args.providers,
+        config=FrameworkConfig(k=args.k, parallel=args.parallel),
+        seed=args.seed,
+        measure_compute=True,
+    )
+    try:
+        summary = runner.run_batch(args.users, range(args.rounds))
+    finally:
+        close = getattr(mechanism, "close", None)
+        if close is not None:
+            close()
+    print(f"mechanism       : {runner.algorithm.name}")
+    print(f"users/providers : {args.users}/{args.providers} (k={args.k}, parallel={args.parallel})")
+    print(f"rounds          : {summary.total_rounds} ({summary.aborted_rounds} aborted)")
+    print(f"total (model)   : {summary.total_elapsed_seconds:.4f} s")
+    print(f"mean (model)    : {summary.mean_elapsed_seconds:.4f} s")
+    return 0 if summary.aborted_rounds == 0 else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -125,6 +192,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_fig4(args)
     if args.command == "fig5":
         return _command_fig5(args)
+    if args.command == "batch":
+        return _command_batch(args)
     return 1  # pragma: no cover - argparse enforces the choices
 
 

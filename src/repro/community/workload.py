@@ -21,7 +21,21 @@ from typing import List, Optional, Sequence
 from repro.auctions.base import BidVector, ProviderAsk, UserBid
 from repro.common import stable_hash
 
-__all__ = ["WorkloadParameters", "DoubleAuctionWorkload", "StandardAuctionWorkload"]
+__all__ = [
+    "WorkloadParameters",
+    "DoubleAuctionWorkload",
+    "StandardAuctionWorkload",
+    "default_provider_ids",
+]
+
+
+def default_provider_ids(num_providers: int) -> List[str]:
+    """The canonical provider-id scheme shared by workloads, runners and figures.
+
+    Kept in one place so the ids a workload generates and the executor subsets
+    the experiment harness selects can never drift apart.
+    """
+    return [f"p{j:02d}" for j in range(num_providers)]
 
 
 @dataclass(frozen=True)
@@ -101,9 +115,11 @@ class DoubleAuctionWorkload(_BaseWorkload):
         users = self._users(num_users, rng)
         total_demand = sum(u.demand for u in users)
         share = total_demand / max(1, num_providers)
-        ids = list(provider_ids) if provider_ids is not None else [
-            f"p{j:02d}" for j in range(num_providers)
-        ]
+        ids = (
+            list(provider_ids)
+            if provider_ids is not None
+            else default_provider_ids(num_providers)
+        )
         providers = []
         for provider_id in ids:
             cost = rng.uniform(self.cost_low, self.cost_high)
@@ -145,9 +161,11 @@ class StandardAuctionWorkload(_BaseWorkload):
         users = self._users(num_users, rng)
         total_demand = sum(u.demand for u in users)
         share = total_demand / max(1, num_providers)
-        ids = list(provider_ids) if provider_ids is not None else [
-            f"p{j:02d}" for j in range(num_providers)
-        ]
+        ids = (
+            list(provider_ids)
+            if provider_ids is not None
+            else default_provider_ids(num_providers)
+        )
         providers = []
         for provider_id in ids:
             scale = rng.uniform(self.capacity_low, self.capacity_high)

@@ -18,9 +18,27 @@ from __future__ import annotations
 
 import dataclasses
 import struct
-from typing import Any
+from typing import Any, Dict, Tuple
 
 __all__ = ["canonical_encode", "estimate_size", "UnsupportedPayloadError"]
+
+#: Per-type cache of (field names, frozen?) — ``dataclasses.fields`` is expensive
+#: and payload types are few, while payload *instances* number in the hundreds of
+#: thousands per simulated round.
+_DATACLASS_INFO: Dict[type, Tuple[Tuple[str, ...], bool]] = {}
+
+#: Attribute under which an instance's computed wire size is memoised.
+_SIZE_ATTR = "_repro_wire_size"
+
+
+def _dataclass_info(cls: type) -> Tuple[Tuple[str, ...], bool]:
+    info = _DATACLASS_INFO.get(cls)
+    if info is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        frozen = bool(getattr(cls, "__dataclass_params__").frozen)
+        info = (names, frozen)
+        _DATACLASS_INFO[cls] = info
+    return info
 
 
 class UnsupportedPayloadError(TypeError):
@@ -30,6 +48,31 @@ class UnsupportedPayloadError(TypeError):
 def _encode_float(value: float) -> bytes:
     # Canonical IEEE-754 big-endian encoding; avoids repr() instability.
     return b"f" + struct.pack(">d", float(value))
+
+
+def _encode_number(value) -> bytes:
+    """Encode numbers by numeric value, not representation.
+
+    Payloads are compared structurally with ``==``, under which ``False == 0 ==
+    0.0`` — so numerically equal values must encode to the same bytes or the
+    validation blocks would flag equal payloads as disagreeing.  Bools collapse
+    to ints; ints exactly representable as a double use the float encoding (so
+    ``1 == 1.0`` agrees); ``-0.0`` normalises to ``0.0``.
+    """
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        try:
+            as_float = float(value)
+        except OverflowError:
+            as_float = None
+        if as_float is not None and as_float == value:
+            return _encode_float(as_float)
+        data = str(value).encode("ascii")
+        return b"i" + len(data).to_bytes(4, "big") + data
+    if value == 0.0:
+        value = 0.0  # collapse -0.0, which compares equal to 0.0
+    return _encode_float(value)
 
 
 def canonical_encode(value: Any) -> bytes:
@@ -45,13 +88,8 @@ def canonical_encode(value: Any) -> bytes:
     """
     if value is None:
         return b"n"
-    if isinstance(value, bool):
-        return b"b1" if value else b"b0"
-    if isinstance(value, int):
-        data = str(value).encode("ascii")
-        return b"i" + len(data).to_bytes(4, "big") + data
-    if isinstance(value, float):
-        return _encode_float(value)
+    if isinstance(value, (bool, int, float)):
+        return _encode_number(value)
     if isinstance(value, str):
         data = value.encode("utf-8")
         return b"s" + len(data).to_bytes(4, "big") + data
@@ -86,23 +124,64 @@ def estimate_size(value: Any) -> int:
     The estimate mirrors ``canonical_encode`` but never raises: unsupported types
     fall back to the length of their ``repr``.  It is intentionally cheap and
     approximate — it is only used for latency modelling and traffic statistics.
+
+    Sizes of *deep-immutable* frozen dataclass instances are memoised on the
+    instance: protocol payloads (bid vectors, allocations, payments) are
+    broadcast and echoed many times per round, and re-walking a 100-user vector
+    per message dominated the simulator's wall time.  ``frozen=True`` alone is
+    only shallow, so the recursion tracks whether every nested value is itself
+    immutable and skips the memo otherwise (a frozen dataclass holding a dict
+    that later grows must keep being re-measured).
     """
+    return _estimate(value)[0]
+
+
+def _estimate(value: Any) -> Tuple[int, bool]:
+    """Return ``(size, deep_immutable)`` — the latter gates instance memoisation."""
+    # Memoised instances answer before the type dispatch below — payload
+    # dataclasses are by far the hottest case in simulated rounds.
+    cached = getattr(value, _SIZE_ATTR, None)
+    if cached is not None:
+        return cached, True
     if value is None or isinstance(value, bool):
-        return 1
+        return 1, True
     if isinstance(value, int):
-        return max(1, (value.bit_length() + 7) // 8) + 1
+        return max(1, (value.bit_length() + 7) // 8) + 1, True
     if isinstance(value, float):
-        return 8
+        return 8, True
     if isinstance(value, str):
-        return len(value.encode("utf-8")) + 4
-    if isinstance(value, (bytes, bytearray)):
-        return len(value) + 4
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return 4 + sum(estimate_size(item) for item in value)
+        return len(value.encode("utf-8")) + 4, True
+    if isinstance(value, bytearray):
+        return len(value) + 4, False
+    if isinstance(value, bytes):
+        return len(value) + 4, True
+    if isinstance(value, (tuple, frozenset)):
+        size = 4
+        immutable = True
+        for item in value:
+            item_size, item_immutable = _estimate(item)
+            size += item_size
+            immutable = immutable and item_immutable
+        return size, immutable
+    if isinstance(value, (list, set)):
+        return 4 + sum(_estimate(item)[0] for item in value), False
     if isinstance(value, dict):
-        return 4 + sum(estimate_size(k) + estimate_size(v) for k, v in value.items())
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return 4 + sum(
-            estimate_size(getattr(value, f.name)) for f in dataclasses.fields(value)
+        return (
+            4 + sum(_estimate(k)[0] + _estimate(v)[0] for k, v in value.items()),
+            False,
         )
-    return len(repr(value))
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        names, frozen = _dataclass_info(type(value))
+        size = 4
+        immutable = frozen
+        for name in names:
+            field_size, field_immutable = _estimate(getattr(value, name))
+            size += field_size
+            immutable = immutable and field_immutable
+        if immutable:
+            try:
+                object.__setattr__(value, _SIZE_ATTR, size)
+            except (AttributeError, TypeError):
+                pass  # __slots__ without room for the memo
+        return size, immutable
+    return len(repr(value)), False

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.auctions.base import AllocationAlgorithm, BidVector
+from repro.auctions.engine import resolve_engine
 from repro.core.config import FrameworkConfig
 from repro.core.outcome import Outcome
 from repro.net.latency import LatencyModel
@@ -47,6 +48,11 @@ class AuctionRun:
         config: framework configuration.
         bidder_strategies: optional per-user strategy overrides (defaults: truthful).
         deadline: bid-collection deadline at the providers, in virtual seconds.
+        engine: ``None`` (default) runs ``algorithm`` exactly as given;
+            ``"reference"`` or ``"vectorized"`` re-targets standard auctions at
+            that execution engine (see
+            :func:`repro.auctions.engine.resolve_engine`; both engines are
+            seed-for-seed bit-identical, so the choice only affects speed).
         latency_model / scheduler / seed / measure_compute: simulation parameters,
             passed through to :class:`~repro.net.network.SimNetwork`.
     """
@@ -58,6 +64,7 @@ class AuctionRun:
         config: Optional[FrameworkConfig] = None,
         bidder_strategies: Optional[Mapping[str, BidderStrategy]] = None,
         deadline: float = 1.0,
+        engine: Optional[str] = None,
         latency_model: Optional[LatencyModel] = None,
         scheduler: Optional[Scheduler] = None,
         seed: int = 0,
@@ -65,7 +72,8 @@ class AuctionRun:
         wait_for_results: bool = True,
     ) -> None:
         self.bids = bids
-        self.algorithm = algorithm
+        self.engine = engine
+        self.algorithm = resolve_engine(algorithm, engine) if engine is not None else algorithm
         self.config = config if config is not None else FrameworkConfig()
         self.config.check_quorum(len(bids.providers))
         self.bidder_strategies = dict(bidder_strategies or {})

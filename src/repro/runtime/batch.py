@@ -1,0 +1,187 @@
+"""Batched execution of many auction rounds with amortised setup.
+
+The community / Figure-4 scenarios run the same auction shape over and over:
+one workload generator, one mechanism, one provider set — only the instance
+(and sometimes the user count) varies per round.  Building a fresh
+:class:`~repro.core.framework.DistributedAuctioneer` per round is cheap, but the
+expensive per-round state is not: the vectorized engine's pivot pool and the
+process-wide solve memo pay off only when they survive across rounds.
+
+:class:`BatchAuctionRunner` holds exactly that long-lived state: the engine is
+resolved once, the auctioneer per provider-count is built once, and repeated
+rounds (including *repeated instances*, which the solve memo then serves from
+cache) reuse them.  Results come back as plain per-round reports plus a compact
+aggregate, which is what the benchmark harness and the CLI consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.auctions.base import AllocationAlgorithm
+from repro.auctions.engine import resolve_engine
+from repro.community.workload import default_provider_ids
+from repro.core.config import FrameworkConfig
+from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer, SimulationReport
+from repro.net.latency import LatencyModel
+
+__all__ = ["BatchAuctionRunner", "BatchRound", "BatchSummary"]
+
+
+@dataclass(frozen=True)
+class BatchRound:
+    """One round of a batch: its parameters and the simulation report."""
+
+    num_users: int
+    instance: int
+    report: SimulationReport
+
+    @property
+    def aborted(self) -> bool:
+        return self.report.aborted
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.report.elapsed_time
+
+
+@dataclass
+class BatchSummary:
+    """Aggregate view over a batch of rounds."""
+
+    rounds: List[BatchRound] = field(default_factory=list)
+
+    @property
+    def total_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def aborted_rounds(self) -> int:
+        return sum(1 for r in self.rounds if r.aborted)
+
+    @property
+    def total_elapsed_seconds(self) -> float:
+        return sum(r.elapsed_seconds for r in self.rounds)
+
+    @property
+    def mean_elapsed_seconds(self) -> float:
+        return self.total_elapsed_seconds / len(self.rounds) if self.rounds else 0.0
+
+
+class BatchAuctionRunner:
+    """Run many auction rounds of one scenario, amortising engine and setup state.
+
+    Args:
+        algorithm: the mechanism to simulate; re-targeted once via ``engine``.
+        workload: a workload generator with the package's ``generate(num_users,
+            num_providers, provider_ids=..., instance=...)`` signature.
+        num_providers: providers (sellers) per round's workload.
+        engine: ``None`` (default) runs ``algorithm`` exactly as given;
+            ``"reference"``/``"vectorized"`` re-targets standard auctions.
+        config: framework configuration for distributed rounds; ``None`` runs the
+            centralised baseline instead.
+        executors: ids of the providers that execute the protocol; defaults to all
+            ``num_providers`` sellers.  Figure 4 runs the protocol on the minimum
+            2k+1 executors out of the m sellers, which this parameter models.
+        latency_model / seed / measure_compute: simulation parameters.
+    """
+
+    def __init__(
+        self,
+        algorithm: AllocationAlgorithm,
+        workload,
+        num_providers: int = 8,
+        engine: Optional[str] = None,
+        config: Optional[FrameworkConfig] = None,
+        executors: Optional[Sequence[str]] = None,
+        latency_model: Optional[LatencyModel] = None,
+        seed: int = 0,
+        measure_compute: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.algorithm = resolve_engine(algorithm, engine) if engine is not None else algorithm
+        # If resolving created a fresh mechanism, this runner owns its resources
+        # (the vectorized engine's pivot pool) and must release them on close().
+        self._owns_algorithm = self.algorithm is not algorithm
+        self.workload = workload
+        self.num_providers = num_providers
+        self.executors = list(executors) if executors is not None else None
+        self.config = config
+        self.latency_model = latency_model
+        self.seed = seed
+        self.measure_compute = measure_compute
+        self._distributed: Optional[DistributedAuctioneer] = None
+        self._centralized: Optional[CentralizedAuctioneer] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources this runner created (idempotent).
+
+        Mechanisms passed in pre-resolved stay untouched — their owner decides
+        when to shut their pivot pool down.
+        """
+        if self._owns_algorithm:
+            close = getattr(self.algorithm, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "BatchAuctionRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- amortised construction ---------------------------------------------------
+    def provider_ids(self) -> List[str]:
+        return default_provider_ids(self.num_providers)
+
+    def _auctioneer(self) -> DistributedAuctioneer:
+        if self._distributed is None:
+            self._distributed = DistributedAuctioneer(
+                self.algorithm,
+                providers=self.executors if self.executors is not None else self.provider_ids(),
+                config=self.config,
+                latency_model=self.latency_model,
+                seed=self.seed,
+                measure_compute=self.measure_compute,
+            )
+        return self._distributed
+
+    def _baseline(self) -> CentralizedAuctioneer:
+        if self._centralized is None:
+            self._centralized = CentralizedAuctioneer(self.algorithm, seed=self.seed)
+        return self._centralized
+
+    # -- execution ----------------------------------------------------------------
+    def run_round(self, num_users: int, instance: int = 0) -> BatchRound:
+        """Run one round on a fresh workload instance."""
+        bids = self.workload.generate(
+            num_users, self.num_providers, provider_ids=self.provider_ids(), instance=instance
+        )
+        if self.config is None:
+            report = self._baseline().run(bids)
+        else:
+            report = self._auctioneer().run_from_bids(bids)
+        return BatchRound(num_users=num_users, instance=instance, report=report)
+
+    def run_batch(
+        self,
+        num_users: int,
+        instances: Iterable[int],
+    ) -> BatchSummary:
+        """Run one round per instance id, sharing all amortised state."""
+        summary = BatchSummary()
+        for instance in instances:
+            summary.rounds.append(self.run_round(num_users, instance))
+        return summary
+
+    def run_sweep(
+        self,
+        points: Sequence[Tuple[int, int]],
+    ) -> Dict[Tuple[int, int], BatchRound]:
+        """Run arbitrary ``(num_users, instance)`` points, e.g. a full figure sweep."""
+        return {
+            (num_users, instance): self.run_round(num_users, instance)
+            for num_users, instance in points
+        }

@@ -1,0 +1,229 @@
+"""Unit tests for behaviour composition and coalition payoff accounting.
+
+The integration suite (test_provider_coalitions.py) checks outcomes of full
+simulated rounds; these tests pin the *units* underneath: how a coalition's node
+factory composes deviant and honest implementations, how each deviating node
+transforms its outgoing traffic, and how the resilience report accounts for
+coalition member gains.
+"""
+
+import functools
+
+import pytest
+
+from repro.adversary.coalition import Coalition, coalition_node_factory
+from repro.adversary.provider_behaviors import (
+    CrashingProviderNode,
+    DeviantProviderNode,
+    EquivocatingProviderNode,
+    InputForgingProviderNode,
+    MessageDroppingProviderNode,
+    OutputTamperingProviderNode,
+)
+from repro.auctions.base import (
+    Allocation,
+    AuctionResult,
+    BidVector,
+    Payments,
+    ProviderAsk,
+    UserBid,
+)
+from repro.auctions.double_auction import DoubleAuction
+from repro.common import ABORT
+from repro.core.config import FrameworkConfig
+from repro.core.outcome import Outcome
+from repro.core.provider_protocol import FrameworkProviderNode, ProviderInput
+from repro.gametheory.resilience import DeviationOutcome, ResilienceReport
+
+PROVIDERS = ["p0", "p1", "p2", "p3"]
+
+
+def make_input(provider_id="p0"):
+    users = {f"u{i}": UserBid(f"u{i}", 1.0 + i / 10.0, 0.5) for i in range(3)}
+    asks = {pid: ProviderAsk(pid, 0.1, 1.0) for pid in PROVIDERS}
+    return ProviderInput(provider_id, users, asks)
+
+
+def make_node(cls=FrameworkProviderNode, provider_id="p0", **kwargs):
+    return cls(
+        make_input(provider_id),
+        DoubleAuction(),
+        FrameworkConfig(k=1),
+        expected_users=["u0", "u1", "u2"],
+        providers=PROVIDERS,
+        **kwargs,
+    )
+
+
+class TestCoalitionComposition:
+    def test_of_normalises_members_to_frozenset(self):
+        coalition = Coalition.of(["p1", "p0", "p1"], EquivocatingProviderNode)
+        assert coalition.members == frozenset({"p0", "p1"})
+        assert coalition.size == 2
+
+    def test_factory_builds_deviants_for_members_only(self):
+        coalition = Coalition.of(["p1", "p3"], EquivocatingProviderNode)
+        factory = coalition.factory()
+        for pid in PROVIDERS:
+            node = factory(
+                make_input(pid),
+                DoubleAuction(),
+                FrameworkConfig(k=1),
+                ["u0", "u1", "u2"],
+                PROVIDERS,
+            )
+            if pid in coalition.members:
+                assert isinstance(node, EquivocatingProviderNode)
+            else:
+                assert type(node) is FrameworkProviderNode
+            assert node.node_id == pid
+
+    def test_factory_forwards_constructor_arguments(self):
+        coalition = Coalition.of(
+            ["p2"], functools.partial(CrashingProviderNode, max_sends=7)
+        )
+        node = coalition_node_factory(coalition)(
+            make_input("p2"),
+            DoubleAuction(),
+            FrameworkConfig(k=1),
+            ["u0", "u1", "u2"],
+            PROVIDERS,
+        )
+        assert isinstance(node, CrashingProviderNode)
+        assert node.max_sends == 7
+
+
+class TestBehaviourTransforms:
+    def test_default_deviant_is_honest(self):
+        node = make_node(DeviantProviderNode)
+        assert node.transform_send("p1", {"x": 1}, "ba|value") == ({"x": 1}, "ba|value")
+
+    def test_equivocator_corrupts_only_victims_and_matching_tags(self):
+        node = make_node(EquivocatingProviderNode, victim_fraction=0.5)
+        victims = node._victims()
+        # Half of the three peers, by sorted order: exactly the first one.
+        assert victims == {"p1"}
+        assert node.transform_send("p1", "payload", "ba|value") == ("equivocated", "ba|value")
+        # Non-victims and non-matching tags pass through unchanged.
+        assert node.transform_send("p2", "payload", "ba|value") == ("payload", "ba|value")
+        assert node.transform_send("p1", "payload", "ba|echo") == ("payload", "ba|echo")
+
+    def test_equivocator_custom_corruption(self):
+        node = make_node(
+            EquivocatingProviderNode,
+            victim_fraction=1.0,
+            corrupt=lambda payload: {"forged": payload},
+        )
+        payload, tag = node.transform_send("p3", 42, "x|value")
+        assert payload == {"forged": 42}
+        assert tag == "x|value"
+
+    def test_dropper_drops_matching_tags_only(self):
+        node = make_node(MessageDroppingProviderNode, tag_substring="|echo")
+        assert node.transform_send("p1", "payload", "ba|echo") is None
+        assert node.transform_send("p1", "payload", "ba|value") == ("payload", "ba|value")
+
+    def test_crasher_stops_after_max_sends(self):
+        node = make_node(CrashingProviderNode, max_sends=2)
+        assert node.transform_send("p1", "a", "t") is not None
+        assert node.transform_send("p2", "b", "t") is not None
+        assert node.transform_send("p3", "c", "t") is None
+        assert node.transform_send("p1", "d", "t") is None
+
+    def test_input_forger_applies_forge_before_protocol(self):
+        def forge(provider_input):
+            forged = dict(provider_input.received_user_bids)
+            forged["u0"] = None
+            return ProviderInput(
+                provider_input.provider_id, forged, provider_input.received_provider_asks
+            )
+
+        node = make_node(InputForgingProviderNode, forge=forge)
+        root = node._root_factory()  # the FrameworkBlock the node will run
+        assert root.provider_input.received_user_bids["u0"] is None
+        assert root.provider_input.received_user_bids["u1"] is not None
+
+
+class TestOutputTampering:
+    def _result(self):
+        allocation = Allocation.from_dict({("u0", "p0"): 0.5})
+        payments = Payments.from_dicts({"u0": 0.4}, {"p0": 0.4})
+        return AuctionResult(allocation, payments)
+
+    class _FakeBlock:
+        def __init__(self, result):
+            self.result = result
+
+    def test_inflates_own_revenue_in_announced_output(self):
+        node = make_node(OutputTamperingProviderNode, bonus=2.5)
+        node._on_root_done(self._FakeBlock(self._result()))
+        assert node.finished
+        tampered = node.output
+        assert isinstance(tampered, AuctionResult)
+        assert tampered.payments.provider_revenue("p0") == pytest.approx(2.9)
+        # The allocation and user payments are untouched — only revenue is doctored.
+        assert tampered.allocation == self._result().allocation
+        assert tampered.payments.user_payment("u0") == pytest.approx(0.4)
+
+    def test_abort_results_pass_through_untampered(self):
+        node = make_node(OutputTamperingProviderNode, bonus=2.5)
+        node._on_root_done(self._FakeBlock(ABORT))
+        assert node.finished
+        assert node.output is ABORT
+
+
+class TestCoalitionPayoffAccounting:
+    def _outcome(self, result):
+        return Outcome(
+            result=result,
+            provider_outputs={pid: result for pid in PROVIDERS},
+            elapsed_time=1.0,
+            messages=10,
+            bytes_transferred=100,
+        )
+
+    def _deviation(self, gains):
+        allocation = Allocation.from_dict({("u0", "p0"): 0.5})
+        result = AuctionResult(allocation, Payments.from_dicts({"u0": 0.4}, {"p0": 0.4}))
+        return DeviationOutcome(
+            coalition=Coalition.of(list(gains), EquivocatingProviderNode),
+            label="test",
+            honest_outcome=self._outcome(result),
+            deviating_outcome=self._outcome(result),
+            member_gains=dict(gains),
+        )
+
+    def test_profitable_requires_strictly_positive_gain(self):
+        assert not self._deviation({"p0": 0.0, "p1": -0.5}).profitable
+        assert not self._deviation({"p0": 1e-12}).profitable  # below tolerance
+        assert self._deviation({"p0": 0.1, "p1": -0.5}).profitable
+
+    def test_altered_result_distinguishes_abort_from_divergence(self):
+        outcome = self._deviation({"p0": 0.0})
+        assert not outcome.altered_result  # identical valid outcomes
+        aborted = Outcome(
+            result=ABORT,
+            provider_outputs={pid: ABORT for pid in PROVIDERS},
+            elapsed_time=1.0,
+            messages=0,
+            bytes_transferred=0,
+        )
+        to_abort = self._deviation({"p0": 0.0})
+        to_abort.deviating_outcome = aborted
+        assert not to_abort.altered_result  # steering to ⊥ is allowed
+        different = AuctionResult(
+            Allocation.from_dict({("u1", "p1"): 0.5}),
+            Payments.from_dicts({"u1": 0.1}, {"p1": 0.1}),
+        )
+        diverged = self._deviation({"p0": 0.0})
+        diverged.deviating_outcome = self._outcome(different)
+        assert diverged.altered_result  # a *different valid* pair is a violation
+
+    def test_report_aggregates_violations(self):
+        report = ResilienceReport(
+            outcomes=[self._deviation({"p0": 0.0}), self._deviation({"p1": 0.7})]
+        )
+        assert len(report.profitable_deviations) == 1
+        assert report.profitable_deviations[0].member_gains == {"p1": 0.7}
+        assert not report.influence_violations
+        assert not report.is_resilient()

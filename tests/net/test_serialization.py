@@ -11,11 +11,16 @@ class TestCanonicalEncode:
         for value in [None, True, False, 0, -17, 2**80, 0.25, -1.5, "hello", b"\x00\x01"]:
             assert canonical_encode(value) == canonical_encode(value)
 
-    def test_distinguishes_types(self):
-        assert canonical_encode(1) != canonical_encode(1.0)
-        assert canonical_encode(True) != canonical_encode(1)
+    def test_distinguishes_unequal_values_only(self):
+        # The contract is value-based: payloads that compare equal must encode
+        # equal (structural comparison across providers uses ==, under which
+        # True == 1 == 1.0), while unequal values must encode differently.
+        assert canonical_encode(1) == canonical_encode(1.0)
+        assert canonical_encode(True) == canonical_encode(1)
+        assert canonical_encode(0.0) == canonical_encode(-0.0)
         assert canonical_encode("1") != canonical_encode(1)
         assert canonical_encode(b"a") != canonical_encode("a")
+        assert canonical_encode(2**64 + 1) != canonical_encode(2.0**64)
 
     def test_dict_insertion_order_irrelevant(self):
         a = {"x": 1, "y": 2, "z": [3, 4]}

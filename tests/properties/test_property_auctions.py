@@ -7,11 +7,13 @@ double auction) uniform pricing.
 
 import random
 
-from hypothesis import given, settings
+import pytest
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.auctions.base import BidVector, ProviderAsk, UserBid
 from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.engine import ENGINES, make_standard_auction
 from repro.auctions.greedy import GreedyStandardAuction
 from repro.auctions.standard_auction import StandardAuction
 from repro.auctions.welfare import budget_surplus, provider_utility, social_welfare, user_utility
@@ -108,3 +110,50 @@ class TestStandardAuctionInvariants:
         GreedyStandardAuction().run(bids).allocation.check_feasible(
             bids, single_provider=True
         )
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    """Both execution engines of the standard auction (see DESIGN.md)."""
+    return request.param
+
+
+class TestStandardAuctionEngineInvariants:
+    """The mechanism's invariants hold for *both* engines, not just the reference.
+
+    The differential suite proves the engines equal on sampled grids; these
+    property tests additionally pin the game-theoretic invariants directly, so a
+    future engine that drifts from the reference still cannot silently violate
+    individual rationality or feasibility.
+    """
+
+    @staticmethod
+    def _mechanism(engine):
+        kwargs = {"pivot_mode": "serial"} if engine == "vectorized" else {}
+        return make_standard_auction(engine, epsilon=0.6, **kwargs)
+
+    @given(bids=bid_vectors, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_no_capacity_violation(self, engine, bids, seed):
+        result = self._mechanism(engine).run(bids, random.Random(seed))
+        result.allocation.check_feasible(bids, single_provider=True)
+
+    @given(bids=bid_vectors, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_individual_rationality(self, engine, bids, seed):
+        """Payment never exceeds the declared value of the allocated bundle."""
+        result = self._mechanism(engine).run(bids, random.Random(seed))
+        for user in bids.users:
+            payment = result.payments.user_payment(user.user_id)
+            allocated_value = user.unit_value * result.allocation.user_total(user.user_id)
+            assert payment <= allocated_value + 1e-9
+            assert payment >= 0.0
+
+    @given(bids=bid_vectors, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_losers_pay_nothing(self, engine, bids, seed):
+        result = self._mechanism(engine).run(bids, random.Random(seed))
+        winners = set(result.allocation.winners())
+        for user in bids.users:
+            if user.user_id not in winners:
+                assert result.payments.user_payment(user.user_id) == 0.0

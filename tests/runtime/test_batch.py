@@ -1,0 +1,112 @@
+"""Tests for the amortised batch auction runner."""
+
+import pytest
+
+from repro.auctions.double_auction import DoubleAuction
+from repro.auctions.engine import VectorizedStandardAuction, clear_solve_cache
+from repro.auctions.standard_auction import StandardAuction
+from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.runtime.batch import BatchAuctionRunner
+
+
+class TestBatchAuctionRunner:
+    def test_batch_of_double_auction_rounds(self):
+        runner = BatchAuctionRunner(
+            DoubleAuction(),
+            DoubleAuctionWorkload(seed=1),
+            num_providers=4,
+            config=FrameworkConfig(k=1),
+        )
+        summary = runner.run_batch(8, instances=range(3))
+        assert summary.total_rounds == 3
+        assert summary.aborted_rounds == 0
+        assert summary.total_elapsed_seconds >= 0.0
+        # Distinct instances are distinct rounds of the same scenario.
+        results = {r.instance: r.report.result for r in summary.rounds}
+        assert len(results) == 3
+
+    def test_auctioneer_is_reused_across_rounds(self):
+        runner = BatchAuctionRunner(
+            DoubleAuction(),
+            DoubleAuctionWorkload(seed=2),
+            num_providers=4,
+            config=FrameworkConfig(k=1),
+        )
+        runner.run_round(6, instance=0)
+        first = runner._distributed
+        runner.run_round(6, instance=1)
+        assert runner._distributed is first
+
+    def test_engine_resolution(self):
+        runner = BatchAuctionRunner(
+            StandardAuction(epsilon=0.5),
+            StandardAuctionWorkload(seed=3),
+            num_providers=4,
+            engine="vectorized",
+            config=FrameworkConfig(k=1),
+        )
+        assert isinstance(runner.algorithm, VectorizedStandardAuction)
+
+    def test_default_engine_leaves_algorithm_as_given(self):
+        """engine=None must not silently downgrade a pre-resolved mechanism."""
+        mechanism = VectorizedStandardAuction(epsilon=0.5, pivot_mode="serial")
+        runner = BatchAuctionRunner(
+            mechanism,
+            StandardAuctionWorkload(seed=3),
+            num_providers=4,
+            config=FrameworkConfig(k=1),
+        )
+        assert runner.algorithm is mechanism
+
+    def test_figure5_run_batch_preserves_engine(self):
+        from repro.bench.harness import Figure5Experiment
+
+        experiment = Figure5Experiment(
+            num_providers=4, n_values=(8,), p_values=(1,), engine="vectorized", seed=1
+        )
+        summary = experiment.run_batch(8, 1, instances=range(2))
+        assert summary.aborted_rounds == 0
+        assert isinstance(experiment.mechanism, VectorizedStandardAuction)
+
+    def test_batch_results_match_engines(self):
+        """The same batch, either engine: identical per-round auction results."""
+        results = {}
+        for engine in ("reference", "vectorized"):
+            clear_solve_cache()
+            runner = BatchAuctionRunner(
+                StandardAuction(epsilon=0.5),
+                StandardAuctionWorkload(seed=4),
+                num_providers=4,
+                engine=engine,
+                config=FrameworkConfig(k=1),
+            )
+            summary = runner.run_batch(10, instances=range(2))
+            assert summary.aborted_rounds == 0
+            results[engine] = [r.report.result for r in summary.rounds]
+        assert results["reference"] == results["vectorized"]
+
+    def test_centralized_baseline_when_no_config(self):
+        runner = BatchAuctionRunner(
+            StandardAuction(epsilon=0.5),
+            StandardAuctionWorkload(seed=5),
+            num_providers=3,
+            config=None,
+        )
+        round_result = runner.run_round(6)
+        assert not round_result.aborted
+        assert round_result.report.stats is None  # centralised: no network
+
+    def test_executor_subset(self):
+        """Fig4 shape: the protocol runs on 2k+1 executors out of m sellers."""
+        runner = BatchAuctionRunner(
+            DoubleAuction(),
+            DoubleAuctionWorkload(seed=6),
+            num_providers=8,
+            config=FrameworkConfig(k=1),
+            executors=["p00", "p01", "p02"],
+        )
+        round_result = runner.run_round(8, instance=0)
+        assert not round_result.aborted
+        assert runner._distributed is not None
+        assert runner._distributed.providers == ["p00", "p01", "p02"]
