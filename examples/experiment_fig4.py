@@ -1,7 +1,10 @@
 """Regenerate Figure 4 (running time of the double auction) as a text table.
 
-Equivalent to ``repro-auction fig4``; kept as a script so the experiment parameters
-are visible and editable in one place.  Use ``--quick`` for a reduced sweep.
+Equivalent to ``repro-auction fig4`` — and to
+``repro-auction sweep --spec examples/specs/fig4.json``: the experiment is a
+built-in sweep spec (``figure4_sweep``) executed through the scenario layer's
+sweep engine, so all three entry points share one code path.  Use ``--quick``
+for a reduced sweep.
 
 Run with::
 
@@ -10,7 +13,9 @@ Run with::
 
 import argparse
 
-from repro.bench import Figure4Experiment, format_points, format_series
+from repro.bench import format_points, format_series
+from repro.bench.harness import record_to_point
+from repro.scenarios import figure4_sweep, run_sweep
 
 
 def main() -> None:
@@ -19,8 +24,9 @@ def main() -> None:
     args = parser.parse_args()
 
     n_values = (100, 300, 600) if args.quick else (100, 200, 400, 600, 800, 1000)
-    experiment = Figure4Experiment(n_values=n_values, k_values=(1, 2, 3), seed=42)
-    points = experiment.run()
+    sweep = figure4_sweep(n_values=n_values, k_values=(1, 2, 3), seed=42)
+    result = run_sweep(sweep)
+    points = [record_to_point("fig4", record) for record in result.records]
 
     print("Figure 4 — double auction running time (model seconds) vs number of users")
     print("Series: centralised vs distributed with m=8 sellers, k in {1,2,3} "

@@ -1,7 +1,10 @@
 """Regenerate Figure 5 (running time of the standard auction) as a text table.
 
-Equivalent to ``repro-auction fig5``; kept as a script so the experiment parameters
-are visible and editable in one place.  Use ``--quick`` for a reduced sweep.
+Equivalent to ``repro-auction fig5`` — and to
+``repro-auction sweep --spec examples/specs/fig5.toml``: the experiment is a
+built-in sweep spec (``figure5_sweep``) executed through the scenario layer's
+sweep engine, so all three entry points share one code path.  Use ``--quick``
+for a reduced sweep.
 
 Run with::
 
@@ -10,7 +13,9 @@ Run with::
 
 import argparse
 
-from repro.bench import Figure5Experiment, format_points, format_series
+from repro.bench import format_points, format_series
+from repro.bench.harness import record_to_point
+from repro.scenarios import figure5_sweep, run_sweep
 
 
 def main() -> None:
@@ -20,10 +25,11 @@ def main() -> None:
     args = parser.parse_args()
 
     n_values = (25, 50, 75) if args.quick else (25, 50, 75, 100, 125)
-    experiment = Figure5Experiment(
+    sweep = figure5_sweep(
         n_values=n_values, p_values=(1, 2, 4), epsilon=args.epsilon, seed=42
     )
-    points = experiment.run()
+    result = run_sweep(sweep)
+    points = [record_to_point("fig5", record) for record in result.records]
 
     print("Figure 5 — standard auction running time (model seconds) vs number of users")
     print("Series: p=1 (centralised), p=2 (k=3), p=4 (k=1), with m=8 providers\n")

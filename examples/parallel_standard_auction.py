@@ -1,72 +1,69 @@
 """Parallelising an expensive VCG-style auction across provider groups (§5.2.2, Fig. 5).
 
 The standard auction's payment phase re-solves the allocation once per winner, which
-makes it expensive — and embarrassingly parallel.  This example runs the same
-instance three ways and compares the modelled running time:
+makes it expensive — and embarrassingly parallel.  This example expresses the
+comparison as a *sweep* over one declarative scenario: the same instance runs as
 
 * a centralised trusted auctioneer (p = 1);
 * the distributed simulation with 8 providers split into p = 2 groups (k = 3);
 * the distributed simulation with p = 4 groups (k = 1).
 
 All three produce the *same* allocation and payments (the common coin fixes the
-randomness), but the parallel executions finish faster once computation dominates.
+randomness in the distributed runs), but the parallel executions finish faster once
+computation dominates.
 
 Run with::
 
     python examples/parallel_standard_auction.py
 """
 
-from repro.auctions import StandardAuction
-from repro.bench import default_latency_model
-from repro.community import StandardAuctionWorkload
-from repro.core import CentralizedAuctioneer, DistributedAuctioneer, FrameworkConfig
+from repro.scenarios import Simulation, spec_from_dict
 
 NUM_USERS = 60
 NUM_PROVIDERS = 8
 
 
 def main() -> None:
-    providers = [f"gw{i}" for i in range(NUM_PROVIDERS)]
-    bids = StandardAuctionWorkload(seed=5).generate(
-        NUM_USERS, NUM_PROVIDERS, provider_ids=providers
+    base = spec_from_dict(
+        {
+            "name": "parallel-standard",
+            "mechanism": {"kind": "standard", "epsilon": 0.25},
+            "users": NUM_USERS,
+            "providers": NUM_PROVIDERS,
+            "latency": "wan",
+            "seed": 1,
+        }
     )
-    mechanism = StandardAuction(epsilon=0.25)
-    print(f"{NUM_USERS} users, {NUM_PROVIDERS} providers, "
-          f"total demand {bids.total_demand:.1f}, total capacity {bids.total_capacity:.1f}")
+    points = [
+        {"runner": "centralized", "series": "p=1 (centralised)"},
+        {"config.k": 3, "config.parallel": True, "config.num_groups": 2},
+        {"config.k": 1, "config.parallel": True, "config.num_groups": 4},
+    ]
+    result = Simulation(base).sweep(points=points)
+    rows = result.records
 
-    rows = []
-
-    central = CentralizedAuctioneer(mechanism, seed=1).run(bids)
-    rows.append(("p=1 (centralised)", central.elapsed_time, central.result))
-
-    for p, k in ((2, 3), (4, 1)):
-        auctioneer = DistributedAuctioneer(
-            mechanism,
-            providers=providers,
-            config=FrameworkConfig(k=k, parallel=True, num_groups=p),
-            latency_model=default_latency_model(),
-            seed=1,
-            measure_compute=True,
-        )
-        report = auctioneer.run_from_bids(bids)
-        rows.append((f"p={p} (distributed, k={k})", report.outcome.elapsed_time, report.result))
-
+    print(f"{NUM_USERS} users, {NUM_PROVIDERS} providers, mechanism {rows[0].mechanism}")
     print("\nconfiguration              running time")
-    for label, seconds, _ in rows:
-        print(f"  {label:<24s} {seconds:8.3f} s")
+    for record in rows:
+        print(f"  {record.series:<24s} {record.elapsed_seconds:8.3f} s")
 
-    base = rows[0][1]
+    baseline = rows[0].elapsed_seconds
     print("\nspeed-up over the centralised auctioneer:")
-    for label, seconds, _ in rows[1:]:
-        print(f"  {label:<24s} {base / seconds:5.2f}x")
+    for record in rows[1:]:
+        print(f"  {record.series:<24s} {baseline / record.elapsed_seconds:5.2f}x")
 
-    distributed_results = [result for _, _, result in rows[1:]]
-    same = all(result == distributed_results[0] for result in distributed_results)
-    winners = distributed_results[0].allocation.winners()
+    distributed = rows[1:]
+    same = all(
+        (r.winners, round(r.total_paid, 12), round(r.total_received, 12))
+        == (distributed[0].winners,
+            round(distributed[0].total_paid, 12),
+            round(distributed[0].total_received, 12))
+        for r in distributed
+    )
     print(f"\nboth distributed configurations computed the same (x, p): {same}")
     print("(the centralised baseline uses its own random seed, so its tie-breaks may differ)")
-    print(f"winning users: {len(winners)} of {NUM_USERS}; "
-          f"revenue {distributed_results[0].payments.total_received:.2f}")
+    print(f"winning users: {distributed[0].winners} of {NUM_USERS}; "
+          f"revenue {distributed[0].total_received:.2f}")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,13 @@
-"""Quickstart: run one distributed double auction among 4 gateway providers.
+"""Quickstart: the declarative front door, then the low-level API beneath it.
 
-This is the smallest end-to-end use of the public API:
+Part 1 — the one-object API: describe a scenario as data (a ``ScenarioSpec``),
+hand it to ``Simulation``, read back a uniform ``RunRecord``.  The same spec
+round-trips through JSON/TOML files (``repro-auction run --spec file.toml``).
 
-1. describe the users' bids and the providers' asks (a ``BidVector``);
-2. build a ``DistributedAuctioneer`` for the mechanism and the provider set;
-3. run the simulated protocol and read the agreed allocation and payments.
+Part 2 — the delegation layer: every pre-existing constructor
+(``DistributedAuctioneer`` & co.) still works and is what the facade drives
+under the hood; drop down to it when you need hand-authored bids or custom
+objects a spec cannot express.
 
 Run with::
 
@@ -13,9 +16,34 @@ Run with::
 
 from repro.auctions import BidVector, DoubleAuction, ProviderAsk, UserBid
 from repro.core import DistributedAuctioneer, FrameworkConfig
+from repro.scenarios import Simulation, spec_from_dict
 
 
-def main() -> None:
+def part_one_declarative() -> None:
+    # A complete scenario as pure data: the double auction over the paper's
+    # Section 6.2 workload, 20 users bidding at 4 distrustful gateways.
+    spec = spec_from_dict(
+        {
+            "name": "quickstart",
+            "mechanism": "double",
+            "users": 20,
+            "providers": 4,
+            "config": {"k": 1},
+            "seed": 7,
+        }
+    )
+    with Simulation(spec) as sim:
+        record = sim.run()
+
+    print("— declarative API —")
+    print(f"outcome      : {'ABORT' if record.aborted else 'agreed (x, p)'}")
+    print(f"messages     : {record.messages}")
+    print(f"winners      : {record.winners} of {record.users}")
+    print(f"total paid   : {record.total_paid:.3f}")
+    print(f"surplus      : {record.total_paid - record.total_received:.3f}")
+
+
+def part_two_low_level() -> None:
     # Four community-network members ask for bandwidth at the gateways; their bids
     # say how much they value one unit of bandwidth and how much they need.
     users = (
@@ -42,21 +70,19 @@ def main() -> None:
     )
     report = auctioneer.run_from_bids(bids)
 
+    print("\n— low-level API (hand-authored bids) —")
     print(f"outcome      : {'ABORT' if report.aborted else 'agreed (x, p)'}")
-    print(f"messages     : {report.outcome.messages}")
     result = report.result
-    print("\nallocation (user -> provider: amount):")
+    print("allocation (user -> provider: amount):")
     for user_id, provider_id, amount in result.allocation.entries:
         print(f"  {user_id:>6s} -> {provider_id:<12s} {amount:.3f}")
-    print("\npayments:")
-    for user_id, payment in result.payments.user_payments:
-        if payment > 0:
-            print(f"  {user_id:>6s} pays     {payment:.3f}")
-    for provider_id, revenue in result.payments.provider_revenues:
-        if revenue > 0:
-            print(f"  {provider_id:>12s} receives {revenue:.3f}")
     surplus = result.payments.total_paid - result.payments.total_received
-    print(f"\nbudget surplus (kept by the community): {surplus:.3f}")
+    print(f"budget surplus (kept by the community): {surplus:.3f}")
+
+
+def main() -> None:
+    part_one_declarative()
+    part_two_low_level()
 
 
 if __name__ == "__main__":

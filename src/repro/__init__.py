@@ -37,6 +37,13 @@ The package is organised in layers, bottom-up:
 
 ``repro.bench``
     The benchmark harness used to regenerate Figures 4 and 5 of the paper.
+
+``repro.scenarios``
+    **The front door**: declarative, serializable scenario specs
+    (:class:`~repro.scenarios.spec.ScenarioSpec`), component registries, and
+    the :class:`~repro.scenarios.simulation.Simulation` facade that runs any
+    spec through the runners above.  Start here; drop to the lower layers when
+    you need custom objects a spec cannot express.
 """
 
 from repro.auctions.base import (
@@ -50,7 +57,37 @@ from repro.auctions.base import (
 from repro.core.framework import DistributedAuctioneer, FrameworkConfig
 from repro.core.outcome import ABORT, Outcome
 
-__version__ = "1.0.0"
+#: Scenario-layer names re-exported lazily (PEP 562): resolving them imports
+#: repro.scenarios (and with it numpy/networkx) on first use, so a plain
+#: ``import repro`` for the low-level API stays as cheap as before the
+#: scenario layer existed.
+_SCENARIO_EXPORTS = frozenset(
+    {
+        "RunRecord",
+        "ScenarioSpec",
+        "Simulation",
+        "SpecError",
+        "SweepSpec",
+        "load_spec",
+        "load_sweep",
+        "run_sweep",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _SCENARIO_EXPORTS:
+        import repro.scenarios as _scenarios
+
+        return getattr(_scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _SCENARIO_EXPORTS)
+
+
+__version__ = "1.1.0"
 
 __all__ = [
     "ABORT",
@@ -62,6 +99,14 @@ __all__ = [
     "Outcome",
     "Payments",
     "ProviderAsk",
+    "RunRecord",
+    "ScenarioSpec",
+    "Simulation",
+    "SpecError",
+    "SweepSpec",
     "UserBid",
+    "load_spec",
+    "load_sweep",
+    "run_sweep",
     "__version__",
 ]

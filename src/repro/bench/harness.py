@@ -10,6 +10,14 @@ users (up to 125), for p ∈ {1, 2, 4} where p is the level of parallelism of th
 parallel allocator (p = 1 is the centralised execution, p = 2 corresponds to k = 3 and
 p = 4 to k = 1 with m = 8 providers).
 
+Since the scenario API redesign both experiments are thin wrappers over the
+built-in sweep specs of :mod:`repro.scenarios.builtin`: the grid is pure data
+(``figure4_sweep()`` / ``figure5_sweep()``) and every point executes through
+:func:`repro.scenarios.runner.run_scenario` — the same code path as
+``repro-auction sweep --spec fig4.json``, so the two can never drift apart
+(locked by ``tests/scenarios/test_differential.py``).  The classes survive as
+the stable, object-style API used by the benchmarks and tests.
+
 Timing model: the simulation charges measured handler CPU time to each provider's
 virtual clock and adds modelled message latencies; the reported ``elapsed`` value is
 the critical path (max over providers of their final clock), which is what a
@@ -18,7 +26,7 @@ stopwatch at the paper's client node would approximately observe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.auctions.double_auction import DoubleAuction
@@ -30,26 +38,38 @@ from repro.community.workload import (
     default_provider_ids,
 )
 from repro.core.config import FrameworkConfig
-from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer
-from repro.net.latency import BandwidthLatencyModel, LatencyModel
+from repro.net.latency import LatencyModel
 from repro.runtime.batch import BatchAuctionRunner, BatchSummary
+from repro.scenarios.builtin import figure4_sweep, figure5_sweep
+from repro.scenarios.runner import RunRecord, run_scenario
+from repro.scenarios.spec import SweepSpec, spec_with_overrides
+from repro.scenarios.sweep import SweepResult, run_sweep
 
 __all__ = [
     "ExperimentPoint",
     "Figure4Experiment",
     "Figure5Experiment",
     "default_latency_model",
+    "record_to_point",
 ]
 
 
 def default_latency_model() -> LatencyModel:
-    """The WAN-ish latency model used by both experiments.
+    """The WAN-ish latency model used by both experiments (spec kind ``"wan"``).
 
     Calibrated loosely to the paper's testbed: a few milliseconds of one-way latency
     between community-network sites plus a 100 Mbit/s-class transmission term, which
     is what makes the double-auction overhead grow with the number of users.
+
+    Delegates to the ``"wan"`` registry entry so the calibration constants live
+    in exactly one place — ``repro-auction fig4`` (this model object) and
+    ``repro-auction sweep --spec fig4.json`` (the registry kind) can never
+    drift apart.
     """
-    return BandwidthLatencyModel(base=0.003, bandwidth_bytes_per_s=12.5e6, jitter=0.001)
+    from repro.scenarios.registry import LATENCIES
+    from repro.scenarios.spec import ComponentSpec
+
+    return LATENCIES.create(ComponentSpec("wan"), "latency")
 
 
 @dataclass(frozen=True)
@@ -79,8 +99,57 @@ class ExperimentPoint:
         return row
 
 
-class Figure4Experiment:
+def record_to_point(
+    figure: str, record: RunRecord, extra: Tuple[Tuple[str, float], ...] = ()
+) -> ExperimentPoint:
+    """Project the uniform :class:`RunRecord` schema onto a figure point."""
+    return ExperimentPoint(
+        figure=figure,
+        series=record.series,
+        num_users=record.users,
+        elapsed_seconds=record.elapsed_seconds,
+        messages=record.messages,
+        bytes_transferred=record.bytes_transferred,
+        aborted=record.aborted,
+        extra=extra,
+    )
+
+
+class _SweepExperiment:
+    """Shared wrapper machinery: a built-in sweep spec plus amortised components."""
+
+    figure: str
+    sweep_spec: SweepSpec
+
+    def run_sweep_result(self) -> SweepResult:
+        """Run the full grid through the sweep engine (the CLI's ``--json`` path)."""
+        return run_sweep(self.sweep_spec, latency_model=self.latency_model)
+
+    def run(self) -> List[ExperimentPoint]:
+        """Run the full grid and return the classic figure points."""
+        return [
+            record_to_point(self.figure, record, self._extra(record))
+            for record in self.run_sweep_result().records
+        ]
+
+    def _run_point(self, overrides: Dict[str, object], instance: int) -> RunRecord:
+        spec = spec_with_overrides(self.sweep_spec.base, overrides)
+        return run_scenario(
+            spec,
+            instance,
+            mechanism=self.mechanism,
+            workload=self.workload,
+            latency_model=self.latency_model,
+        )
+
+    def _extra(self, record: RunRecord) -> Tuple[Tuple[str, float], ...]:
+        return ()
+
+
+class Figure4Experiment(_SweepExperiment):
     """Running time of the double auction: centralised vs distributed (k = 1, 2, 3)."""
+
+    figure = "fig4"
 
     def __init__(
         self,
@@ -97,6 +166,9 @@ class Figure4Experiment:
         self.seed = seed
         self.workload = DoubleAuctionWorkload(seed=seed)
         self.mechanism = DoubleAuction()
+        self.sweep_spec = figure4_sweep(
+            num_providers=num_providers, k_values=self.k_values, n_values=self.n_values, seed=seed
+        )
 
     # -- single points -------------------------------------------------------------
     def executors_for_k(self, k: int) -> List[str]:
@@ -107,48 +179,30 @@ class Figure4Experiment:
         return default_provider_ids(needed)
 
     def run_centralized_point(self, num_users: int, instance: int = 0) -> ExperimentPoint:
-        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
-        report = CentralizedAuctioneer(self.mechanism, seed=self.seed).run(bids)
-        return ExperimentPoint(
-            figure="fig4",
-            series="centralised",
-            num_users=num_users,
-            elapsed_seconds=report.elapsed_time,
-            messages=0,
-            bytes_transferred=0,
+        record = self._run_point(
+            {"users": num_users, "runner": "centralized", "series": "centralised"}, instance
         )
+        return record_to_point(self.figure, record)
 
     def run_distributed_point(self, num_users: int, k: int, instance: int = 0) -> ExperimentPoint:
-        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
-        auctioneer = DistributedAuctioneer(
-            self.mechanism,
-            providers=self.executors_for_k(k),
-            config=FrameworkConfig(k=k, parallel=False),
-            latency_model=self.latency_model,
-            seed=self.seed,
-            measure_compute=True,
+        executors = len(self.executors_for_k(k))
+        record = self._run_point(
+            {
+                "users": num_users,
+                "config.k": k,
+                "executors": executors,
+                "series": f"distributed k={k}",
+            },
+            instance,
         )
-        report = auctioneer.run_from_bids(bids)
-        return ExperimentPoint(
-            figure="fig4",
-            series=f"distributed k={k}",
-            num_users=num_users,
-            elapsed_seconds=report.outcome.elapsed_time,
-            messages=report.outcome.messages,
-            bytes_transferred=report.outcome.bytes_transferred,
-            aborted=report.aborted,
-            extra=(("executors", float(len(self.executors_for_k(k)))),),
-        )
+        return record_to_point(self.figure, record, self._extra(record))
 
-    # -- sweeps -----------------------------------------------------------------------
-    def run(self) -> List[ExperimentPoint]:
-        points: List[ExperimentPoint] = []
-        for n in self.n_values:
-            points.append(self.run_centralized_point(n))
-            for k in self.k_values:
-                points.append(self.run_distributed_point(n, k))
-        return points
+    def _extra(self, record: RunRecord) -> Tuple[Tuple[str, float], ...]:
+        if record.runner == "centralized":
+            return ()
+        return (("executors", float(record.executors)),)
 
+    # -- batches ----------------------------------------------------------------------
     def run_batch(self, num_users: int, k: int, instances: Sequence[int]) -> BatchSummary:
         """Many independent instances of one (n, k) point through a shared runner.
 
@@ -169,12 +223,14 @@ class Figure4Experiment:
         return runner.run_batch(num_users, instances)
 
 
-class Figure5Experiment:
+class Figure5Experiment(_SweepExperiment):
     """Running time of the standard auction: parallelism p = 1 (centralised), 2, 4.
 
     ``engine`` selects the execution engine of the mechanism ("reference" or
     "vectorized"); results are bit-identical either way, only speed differs.
     """
+
+    figure = "fig5"
 
     def __init__(
         self,
@@ -195,6 +251,14 @@ class Figure5Experiment:
         self.seed = seed
         self.workload = StandardAuctionWorkload(seed=seed)
         self.mechanism = resolve_engine(StandardAuction(epsilon=epsilon), engine)
+        self.sweep_spec = figure5_sweep(
+            num_providers=num_providers,
+            p_values=self.p_values,
+            n_values=self.n_values,
+            epsilon=epsilon,
+            engine=engine,
+            seed=seed,
+        )
 
     def k_for_parallelism(self, p: int) -> int:
         """The coalition bound giving parallelism ``p`` with m providers: p = ⌊m/(k+1)⌋."""
@@ -206,48 +270,32 @@ class Figure5Experiment:
         return default_provider_ids(self.num_providers)
 
     def run_centralized_point(self, num_users: int, instance: int = 0) -> ExperimentPoint:
-        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
-        report = CentralizedAuctioneer(self.mechanism, seed=self.seed).run(bids)
-        return ExperimentPoint(
-            figure="fig5",
-            series="p=1 (centralised)",
-            num_users=num_users,
-            elapsed_seconds=report.elapsed_time,
-            messages=0,
-            bytes_transferred=0,
+        record = self._run_point(
+            {"users": num_users, "runner": "centralized", "series": "p=1 (centralised)"},
+            instance,
         )
+        return record_to_point(self.figure, record)
 
     def run_distributed_point(self, num_users: int, p: int, instance: int = 0) -> ExperimentPoint:
         if p <= 1:
             return self.run_centralized_point(num_users, instance)
         k = self.k_for_parallelism(p)
-        bids = self.workload.generate(num_users, self.num_providers, instance=instance)
-        auctioneer = DistributedAuctioneer(
-            self.mechanism,
-            providers=self.provider_ids(),
-            config=FrameworkConfig(k=k, parallel=True, num_groups=p),
-            latency_model=self.latency_model,
-            seed=self.seed,
-            measure_compute=True,
+        record = self._run_point(
+            {
+                "users": num_users,
+                "config.k": k,
+                "config.parallel": True,
+                "config.num_groups": p,
+                "series": f"p={p} (distributed, k={k})",
+            },
+            instance,
         )
-        report = auctioneer.run_from_bids(bids)
-        return ExperimentPoint(
-            figure="fig5",
-            series=f"p={p} (distributed, k={k})",
-            num_users=num_users,
-            elapsed_seconds=report.outcome.elapsed_time,
-            messages=report.outcome.messages,
-            bytes_transferred=report.outcome.bytes_transferred,
-            aborted=report.aborted,
-            extra=(("k", float(k)),),
-        )
+        return record_to_point(self.figure, record, self._extra(record))
 
-    def run(self) -> List[ExperimentPoint]:
-        points: List[ExperimentPoint] = []
-        for n in self.n_values:
-            for p in self.p_values:
-                points.append(self.run_distributed_point(n, p))
-        return points
+    def _extra(self, record: RunRecord) -> Tuple[Tuple[str, float], ...]:
+        if record.runner == "centralized":
+            return ()
+        return (("k", float(record.k)),)
 
     def run_batch(self, num_users: int, p: int, instances: Sequence[int]) -> BatchSummary:
         """Many instances of one (n, p) point through a shared, engine-aware runner."""

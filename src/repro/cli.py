@@ -1,36 +1,54 @@
-"""Command-line interface.
+"""Command-line interface, built on the declarative scenario API.
 
-Three sub-commands cover the common workflows::
+Five sub-commands cover the common workflows::
 
     repro-auction run   --mechanism double --users 100 --providers 8 --k 1
-    repro-auction run   --mechanism standard --engine vectorized --users 50
+    repro-auction run   --spec scenario.toml --set users=200 --set config.k=2 --json
+    repro-auction batch --mechanism standard --users 50 --rounds 20
+    repro-auction sweep --spec sweep.json --json
     repro-auction fig4  --users 100 200 400 --k 1 2 3
     repro-auction fig5  --users 25 50 75 --parallelism 1 2 4 --engine vectorized
-    repro-auction batch --mechanism standard --users 50 --rounds 20
 
-``run`` executes one distributed auction round and prints the outcome; ``fig4`` and
-``fig5`` regenerate the corresponding evaluation figures of the paper as text tables;
-``batch`` runs many rounds of one scenario through the amortised
-:class:`~repro.runtime.batch.BatchAuctionRunner`.  ``--engine`` switches standard
-auctions between the reference and the vectorized execution engine (bit-identical
-results — see DESIGN.md).
+``run`` executes one auction round and prints the outcome; ``batch`` runs many
+rounds of one scenario with amortised setup; ``sweep`` runs a grid of scenarios
+from a spec file.  ``fig4`` and ``fig5`` regenerate the corresponding evaluation
+figures of the paper — they are exactly ``sweep`` over the built-in Figure 4 /
+Figure 5 sweep specs, kept as dedicated sub-commands for their historical flags.
+
+``run``, ``batch`` and ``sweep`` accept ``--spec FILE`` (a JSON or TOML
+scenario/sweep spec) and ``--set key=value`` (dotted-path overrides, e.g.
+``--set config.k=2`` or ``--set mechanism.epsilon=0.5``); every sub-command
+accepts ``--json`` (machine-readable output of the uniform RunRecord schema).
+Flags like ``--users`` keep their historical spellings and are translated into
+spec overrides, so flags and spec files compose: a non-default flag overrides
+the spec file.  One argparse-rooted caveat: next to ``--spec``, a flag
+explicitly set to its default value (e.g. ``--users 50``) is indistinguishable
+from an omitted flag and is ignored — use ``--set users=50`` to force a value
+that happens to coincide with a flag default.  ``fig4``/``fig5`` take no
+``--spec`` (their grids *are* the shipped ``examples/specs/fig4.json`` /
+``fig5.toml`` files; edit those and use ``sweep`` to vary them beyond the
+historical flags).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from repro.auctions.double_auction import DoubleAuction
-from repro.auctions.engine import DEFAULT_ENGINE, ENGINES, resolve_engine
-from repro.auctions.standard_auction import StandardAuction
-from repro.bench.harness import Figure4Experiment, Figure5Experiment
+from repro.auctions.engine import DEFAULT_ENGINE, ENGINES
+from repro.bench.harness import Figure4Experiment, Figure5Experiment, record_to_point
 from repro.bench.reporting import format_points, format_series
-from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
-from repro.core.config import FrameworkConfig
-from repro.core.framework import DistributedAuctioneer
-from repro.runtime.batch import BatchAuctionRunner
+from repro.scenarios.io import load_any
+from repro.scenarios.simulation import Simulation
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    parse_assignments,
+    spec_with_overrides,
+)
+from repro.scenarios.sweep import SweepResult, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -42,20 +60,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_spec_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--spec", metavar="FILE", help="scenario spec file (.json or .toml)"
+        )
+        command.add_argument(
+            "--set",
+            dest="overrides",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="dotted-path spec override (e.g. --set config.k=2); repeatable",
+        )
+        command.add_argument(
+            "--json", action="store_true", help="print machine-readable JSON records"
+        )
+
+    def add_scenario_flags(command: argparse.ArgumentParser, name: str) -> None:
+        defaults = _FLAG_DEFAULTS[name]
+        command.add_argument(
+            "--mechanism", choices=["double", "standard"], default=defaults["mechanism"]
+        )
+        command.add_argument("--users", type=int, default=defaults["users"])
+        command.add_argument("--providers", type=int, default=defaults["providers"])
+        command.add_argument(
+            "--k", type=int, default=defaults["k"], help="tolerated coalition size"
+        )
+        command.add_argument(
+            "--parallel", action="store_true", help="use the parallel allocator"
+        )
+        command.add_argument(
+            "--epsilon", type=float, default=defaults["epsilon"],
+            help="standard-auction accuracy knob",
+        )
+        command.add_argument(
+            "--engine",
+            choices=list(ENGINES),
+            default=defaults["engine"],
+            help="execution engine for the standard auction (bit-identical results)",
+        )
+        command.add_argument("--seed", type=int, default=defaults["seed"])
+        if defaults["rounds"] is not None:
+            command.add_argument(
+                "--rounds", type=int, default=defaults["rounds"],
+                help="number of workload instances",
+            )
+
     run = sub.add_parser("run", help="run one distributed auction round")
-    run.add_argument("--mechanism", choices=["double", "standard"], default="double")
-    run.add_argument("--users", type=int, default=50)
-    run.add_argument("--providers", type=int, default=8)
-    run.add_argument("--k", type=int, default=1, help="tolerated coalition size")
-    run.add_argument("--parallel", action="store_true", help="use the parallel allocator")
-    run.add_argument("--epsilon", type=float, default=0.25, help="standard-auction accuracy knob")
-    run.add_argument(
-        "--engine",
-        choices=list(ENGINES),
-        default=DEFAULT_ENGINE,
-        help="execution engine for the standard auction (bit-identical results)",
-    )
-    run.add_argument("--seed", type=int, default=0)
+    add_scenario_flags(run, "run")
+    add_spec_options(run)
 
     fig4 = sub.add_parser("fig4", help="regenerate Figure 4 (double auction running time)")
     fig4.add_argument("--users", type=int, nargs="+", default=[100, 200, 400, 600, 800, 1000])
@@ -63,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--providers", type=int, default=8)
     fig4.add_argument("--seed", type=int, default=0)
     fig4.add_argument("--series", action="store_true", help="print per-series summary")
+    fig4.add_argument("--json", action="store_true", help="print machine-readable JSON records")
 
     fig5 = sub.add_parser("fig5", help="regenerate Figure 5 (standard auction running time)")
     fig5.add_argument("--users", type=int, nargs="+", default=[25, 50, 75, 100, 125])
@@ -77,59 +131,150 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig5.add_argument("--seed", type=int, default=0)
     fig5.add_argument("--series", action="store_true", help="print per-series summary")
+    fig5.add_argument("--json", action="store_true", help="print machine-readable JSON records")
 
     batch = sub.add_parser(
         "batch", help="run many rounds of one scenario with amortised setup"
     )
-    batch.add_argument("--mechanism", choices=["double", "standard"], default="standard")
-    batch.add_argument("--users", type=int, default=50)
-    batch.add_argument("--providers", type=int, default=8)
-    batch.add_argument("--rounds", type=int, default=10, help="number of workload instances")
-    batch.add_argument("--k", type=int, default=1, help="tolerated coalition size")
-    batch.add_argument("--parallel", action="store_true", help="use the parallel allocator")
-    batch.add_argument("--epsilon", type=float, default=0.25)
-    batch.add_argument(
-        "--engine",
-        choices=list(ENGINES),
-        default=DEFAULT_ENGINE,
-        help="execution engine for the standard auction (bit-identical results)",
+    add_scenario_flags(batch, "batch")
+    add_spec_options(batch)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a grid of scenarios from a sweep spec file"
     )
-    batch.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--spec", metavar="FILE", required=True, help="sweep/scenario spec file (.json or .toml)"
+    )
+    sweep.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted-path override applied to the sweep's base spec; repeatable",
+    )
+    sweep.add_argument("--series", action="store_true", help="print per-series summary")
+    sweep.add_argument("--json", action="store_true", help="print machine-readable JSON records")
 
     return parser
 
 
-def _make_mechanism_and_workload(args: argparse.Namespace):
-    if args.mechanism == "double":
-        return DoubleAuction(), DoubleAuctionWorkload(seed=args.seed)
-    mechanism = resolve_engine(StandardAuction(epsilon=args.epsilon), args.engine)
-    return mechanism, StandardAuctionWorkload(seed=args.seed)
+# -------------------------------------------------------------- spec construction --
+#: The single source of the ``run``/``batch`` flag defaults: ``build_parser``
+#: feeds these into ``add_argument(default=...)`` and ``_flag_overrides`` reads
+#: them back, so the two can never drift apart.  When a spec file is given, a
+#: flag at its default value is NOT treated as an override — argparse cannot
+#: distinguish "--users 50" from an omitted flag, and stomping the spec with
+#: parser defaults would make spec files pointless (use --set in that case).
+_FLAG_DEFAULTS = {
+    "run": {"mechanism": "double", "users": 50, "providers": 8, "k": 1,
+            "epsilon": 0.25, "engine": DEFAULT_ENGINE, "seed": 0, "rounds": None},
+    "batch": {"mechanism": "standard", "users": 50, "providers": 8, "k": 1,
+              "epsilon": 0.25, "engine": DEFAULT_ENGINE, "seed": 0, "rounds": 10},
+}
 
 
+def _flag_overrides(args: argparse.Namespace, command: str, base: ScenarioSpec) -> Dict[str, Any]:
+    """Translate the historical CLI flags into dotted-path spec overrides."""
+    defaults = _FLAG_DEFAULTS[command]
+    spec_given = args.spec is not None
+
+    def explicit(name: str) -> bool:
+        value = getattr(args, name, None)
+        return value is not None and (not spec_given or value != defaults.get(name))
+
+    overrides: Dict[str, Any] = {}
+    if explicit("mechanism"):
+        overrides["mechanism"] = args.mechanism
+    mechanism_kind = overrides.get("mechanism", base.mechanism.kind)
+    if mechanism_kind == "standard" and (not spec_given or explicit("epsilon")):
+        overrides["mechanism.epsilon"] = args.epsilon
+    if explicit("users"):
+        overrides["users"] = args.users
+    if explicit("providers"):
+        overrides["providers"] = args.providers
+    if explicit("k"):
+        overrides["config.k"] = args.k
+    if args.parallel:
+        overrides["config.parallel"] = True
+    if explicit("engine"):
+        overrides["engine"] = args.engine
+    if explicit("seed"):
+        overrides["seed"] = args.seed
+    if command == "batch" and explicit("rounds"):
+        overrides["rounds"] = args.rounds
+    return overrides
+
+
+def _build_scenario(args: argparse.Namespace, command: str) -> ScenarioSpec:
+    """The scenario for ``run``/``batch``: spec file < historical flags < --set."""
+    if args.spec is not None:
+        spec = load_any(args.spec)
+        if isinstance(spec, SweepSpec):
+            raise SpecError(args.spec, "this file holds a sweep spec; use 'repro-auction sweep'")
+    else:
+        spec = ScenarioSpec(
+            name=f"cli-{command}",
+            rounds=_FLAG_DEFAULTS[command]["rounds"] or 1,
+        )
+    overrides = _flag_overrides(args, command, spec)
+    overrides.update(parse_assignments(args.overrides))
+    return spec_with_overrides(spec, overrides)
+
+
+# ------------------------------------------------------------------- sub-commands --
 def _command_run(args: argparse.Namespace) -> int:
-    mechanism, workload = _make_mechanism_and_workload(args)
-    bids = workload.generate(args.users, args.providers)
-    provider_ids = bids.provider_ids
-    auctioneer = DistributedAuctioneer(
-        mechanism,
-        providers=provider_ids,
-        config=FrameworkConfig(k=args.k, parallel=args.parallel),
-        seed=args.seed,
-        measure_compute=True,
+    spec = _build_scenario(args, "run")
+    with Simulation(spec) as simulation:
+        record = simulation.run()
+    if args.json:
+        import json
+
+        print(json.dumps(record.to_dict(), indent=2))
+        return 0
+    config = spec.config
+    print(f"mechanism       : {record.mechanism}")
+    print(
+        f"users/providers : {record.users}/{record.providers} "
+        f"(k={config.k}, parallel={config.parallel})"
     )
-    report = auctioneer.run_from_bids(bids)
-    print(f"mechanism       : {mechanism.name}")
-    print(f"users/providers : {args.users}/{args.providers} (k={args.k}, parallel={args.parallel})")
-    print(f"outcome         : {'ABORT' if report.aborted else 'agreed (x, p)'}")
-    print(f"elapsed (model) : {report.outcome.elapsed_time:.4f} s")
-    print(f"messages        : {report.outcome.messages}")
-    print(f"bytes           : {report.outcome.bytes_transferred}")
-    if not report.aborted:
-        result = report.result
-        print(f"winning users   : {len(result.allocation.winners())}")
-        print(f"total paid      : {result.payments.total_paid:.4f}")
-        print(f"total received  : {result.payments.total_received:.4f}")
+    print(f"outcome         : {'ABORT' if record.aborted else 'agreed (x, p)'}")
+    print(f"elapsed (model) : {record.elapsed_seconds:.4f} s")
+    print(f"messages        : {record.messages}")
+    print(f"bytes           : {record.bytes_transferred}")
+    if not record.aborted:
+        print(f"winning users   : {record.winners}")
+        print(f"total paid      : {record.total_paid:.4f}")
+        print(f"total received  : {record.total_received:.4f}")
     return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    spec = _build_scenario(args, "batch")
+    with Simulation(spec) as simulation:
+        summary = simulation.run_batch()
+        mechanism = simulation.mechanism.name
+    if args.json:
+        print(summary.to_json())
+    else:
+        config = spec.config
+        print(f"mechanism       : {mechanism}")
+        print(
+            f"users/providers : {spec.users}/{spec.providers} "
+            f"(k={config.k}, parallel={config.parallel})"
+        )
+        print(f"rounds          : {summary.total_rounds} ({summary.aborted_rounds} aborted)")
+        print(f"total (model)   : {summary.total_elapsed_seconds:.4f} s")
+        print(f"mean (model)    : {summary.mean_elapsed_seconds:.4f} s")
+    return 0 if summary.aborted_rounds == 0 else 1
+
+
+def _print_sweep(result: SweepResult, args: argparse.Namespace) -> None:
+    if args.json:
+        print(result.to_json())
+        return
+    points = [record_to_point(result.name, record) for record in result.records]
+    print(format_series(points) if args.series else format_points(points))
 
 
 def _command_fig4(args: argparse.Namespace) -> int:
@@ -139,6 +284,9 @@ def _command_fig4(args: argparse.Namespace) -> int:
         n_values=args.users,
         seed=args.seed,
     )
+    if args.json:
+        print(experiment.run_sweep_result().to_json())
+        return 0
     points = experiment.run()
     print(format_series(points) if args.series else format_points(points))
     return 0
@@ -153,47 +301,40 @@ def _command_fig5(args: argparse.Namespace) -> int:
         engine=args.engine,
         seed=args.seed,
     )
+    if args.json:
+        print(experiment.run_sweep_result().to_json())
+        return 0
     points = experiment.run()
     print(format_series(points) if args.series else format_points(points))
     return 0
 
 
-def _command_batch(args: argparse.Namespace) -> int:
-    mechanism, workload = _make_mechanism_and_workload(args)
-    # The mechanism is already engine-resolved by _make_mechanism_and_workload,
-    # so the CLI owns it (and its pivot pool, if any) — release it when done.
-    runner = BatchAuctionRunner(
-        mechanism,
-        workload,
-        num_providers=args.providers,
-        config=FrameworkConfig(k=args.k, parallel=args.parallel),
-        seed=args.seed,
-        measure_compute=True,
-    )
-    try:
-        summary = runner.run_batch(args.users, range(args.rounds))
-    finally:
-        close = getattr(mechanism, "close", None)
-        if close is not None:
-            close()
-    print(f"mechanism       : {runner.algorithm.name}")
-    print(f"users/providers : {args.users}/{args.providers} (k={args.k}, parallel={args.parallel})")
-    print(f"rounds          : {summary.total_rounds} ({summary.aborted_rounds} aborted)")
-    print(f"total (model)   : {summary.total_elapsed_seconds:.4f} s")
-    print(f"mean (model)    : {summary.mean_elapsed_seconds:.4f} s")
-    return 0 if summary.aborted_rounds == 0 else 1
+def _command_sweep(args: argparse.Namespace) -> int:
+    loaded = load_any(args.spec)
+    if isinstance(loaded, ScenarioSpec):
+        loaded = SweepSpec(base=loaded, name=loaded.name)
+    loaded = loaded.with_base_overrides(parse_assignments(args.overrides))
+    result = run_sweep(loaded)
+    _print_sweep(result, args)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "fig4":
-        return _command_fig4(args)
-    if args.command == "fig5":
-        return _command_fig5(args)
-    if args.command == "batch":
-        return _command_batch(args)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "fig4":
+            return _command_fig4(args)
+        if args.command == "fig5":
+            return _command_fig5(args)
+        if args.command == "batch":
+            return _command_batch(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 1  # pragma: no cover - argparse enforces the choices
 
 

@@ -20,6 +20,7 @@ from repro.community.topology import CommunityNetwork, generate_community_networ
 from repro.community.workload import (
     DoubleAuctionWorkload,
     StandardAuctionWorkload,
+    VRSessionWorkload,
     WorkloadParameters,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "CommunityNetwork",
     "DoubleAuctionWorkload",
     "StandardAuctionWorkload",
+    "VRSessionWorkload",
     "WorkloadParameters",
     "generate_community_network",
 ]

@@ -84,8 +84,15 @@ class BandwidthReservationScenario:
     def latency_model(self) -> LatencyModel:
         return self.network.latency_model()
 
-    def centralized(self, base_latency: float = 0.0) -> CentralizedAuctioneer:
-        return CentralizedAuctioneer(self.mechanism, base_latency=base_latency)
+    def centralized(self, base_latency: float = 0.0, seed: int = 0) -> CentralizedAuctioneer:
+        """The trusted-auctioneer baseline for this scenario.
+
+        ``seed`` is forwarded to the auctioneer (it drives the mechanism's
+        internal randomness), matching :meth:`distributed` and
+        :meth:`auction_run` — previously the centralised baseline silently
+        ignored scenario seeding.
+        """
+        return CentralizedAuctioneer(self.mechanism, base_latency=base_latency, seed=seed)
 
     def distributed(
         self,

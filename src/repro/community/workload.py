@@ -25,6 +25,7 @@ __all__ = [
     "WorkloadParameters",
     "DoubleAuctionWorkload",
     "StandardAuctionWorkload",
+    "VRSessionWorkload",
     "default_provider_ids",
 ]
 
@@ -126,6 +127,108 @@ class DoubleAuctionWorkload(_BaseWorkload):
             while cost <= self.cost_low:
                 cost = rng.uniform(self.cost_low, self.cost_high)
             capacity = share * rng.uniform(self.capacity_low, self.capacity_high)
+            providers.append(ProviderAsk(provider_id, cost, capacity))
+        return BidVector(tuple(users), tuple(providers))
+
+
+class VRSessionWorkload(_BaseWorkload):
+    """Bursty "VR session" bandwidth demand over a community network.
+
+    Models the cellular/VR-style demand mix of federated-caching studies
+    (cf. Tharakan et al., arXiv:2501.11745): at any instant a fraction of the
+    users are inside an immersive session and stream at near-capacity rates
+    while valuing bandwidth highly; everyone else produces light background
+    traffic.  Compared to the paper's uniform §6 workloads this yields a
+    heavy-tailed, bimodal demand distribution, which is exactly the stress
+    shape the scenario registry exists to express as data.
+
+    Args:
+        session_fraction: probability that a user is in an active VR session.
+        burst_low/high: demand range of an in-session user.
+        idle_low/high: demand range of a background user.
+        value_boost: multiplicative uplift on an in-session user's unit value
+            (VR sessions are latency/bandwidth critical, so users bid more).
+        capacity_low/high: random scaling factor applied to each provider's
+            share of the total demand (scarce by default, like §6.3).
+        cost_low/high: provider unit cost range; the default of zero matches
+            the standard auction (providers do not bid), a positive range
+            makes the workload usable with the double auction too.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[WorkloadParameters] = None,
+        session_fraction: float = 0.3,
+        burst_low: float = 0.6,
+        burst_high: float = 1.0,
+        idle_low: float = 0.05,
+        idle_high: float = 0.3,
+        value_boost: float = 1.5,
+        capacity_low: float = 0.1,
+        capacity_high: float = 0.5,
+        cost_low: float = 0.0,
+        cost_high: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(parameters, seed)
+        if not 0.0 <= session_fraction <= 1.0:
+            raise ValueError("session_fraction must be in [0, 1]")
+        if not 0.0 <= burst_low <= burst_high:
+            raise ValueError("require 0 <= burst_low <= burst_high")
+        if not 0.0 <= idle_low <= idle_high:
+            raise ValueError("require 0 <= idle_low <= idle_high")
+        if value_boost <= 0:
+            raise ValueError("value_boost must be positive")
+        if not 0.0 <= capacity_low <= capacity_high:
+            raise ValueError("require 0 <= capacity_low <= capacity_high")
+        if not 0.0 <= cost_low <= cost_high:
+            raise ValueError("require 0 <= cost_low <= cost_high")
+        self.session_fraction = session_fraction
+        self.burst_low = burst_low
+        self.burst_high = burst_high
+        self.idle_low = idle_low
+        self.idle_high = idle_high
+        self.value_boost = value_boost
+        self.capacity_low = capacity_low
+        self.capacity_high = capacity_high
+        self.cost_low = cost_low
+        self.cost_high = cost_high
+
+    def generate(
+        self,
+        num_users: int,
+        num_providers: int,
+        provider_ids: Optional[Sequence[str]] = None,
+        instance: int = 0,
+    ) -> BidVector:
+        """Generate one instance with ``num_users`` users and ``num_providers`` providers."""
+        rng = self._rng(num_users, num_providers, instance)
+        users = []
+        for i in range(num_users):
+            in_session = rng.random() < self.session_fraction
+            value = self.parameters.draw_bid(rng)
+            if in_session:
+                demand = rng.uniform(self.burst_low, self.burst_high)
+                value *= self.value_boost
+            else:
+                demand = rng.uniform(self.idle_low, self.idle_high)
+            users.append(
+                UserBid(user_id=f"u{i:04d}", unit_value=value, demand=max(demand, 1e-6))
+            )
+        total_demand = sum(u.demand for u in users)
+        share = total_demand / max(1, num_providers)
+        ids = (
+            list(provider_ids)
+            if provider_ids is not None
+            else default_provider_ids(num_providers)
+        )
+        providers = []
+        for provider_id in ids:
+            scale = rng.uniform(self.capacity_low, self.capacity_high)
+            capacity = max(share * scale, 0.05)
+            cost = (
+                rng.uniform(self.cost_low, self.cost_high) if self.cost_high > 0 else 0.0
+            )
             providers.append(ProviderAsk(provider_id, cost, capacity))
         return BidVector(tuple(users), tuple(providers))
 

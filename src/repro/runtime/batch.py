@@ -26,7 +26,7 @@ from repro.core.config import FrameworkConfig
 from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer, SimulationReport
 from repro.net.latency import LatencyModel
 
-__all__ = ["BatchAuctionRunner", "BatchRound", "BatchSummary"]
+__all__ = ["BatchAuctionRunner", "BatchRound", "BatchSummary", "RoundAggregates"]
 
 
 @dataclass(frozen=True)
@@ -46,27 +46,44 @@ class BatchRound:
         return self.report.elapsed_time
 
 
+class RoundAggregates:
+    """Aggregate arithmetic shared by every per-round result collection.
+
+    Mix-in over any sequence of entries exposing ``aborted`` and
+    ``elapsed_seconds`` (``BatchRound`` here, ``RunRecord`` in the scenario
+    layer's :class:`~repro.scenarios.simulation.BatchResult`); subclasses
+    provide the sequence via :meth:`_round_entries`.
+    """
+
+    def _round_entries(self) -> Sequence:
+        raise NotImplementedError
+
+    @property
+    def total_rounds(self) -> int:
+        return len(self._round_entries())
+
+    @property
+    def aborted_rounds(self) -> int:
+        return sum(1 for r in self._round_entries() if r.aborted)
+
+    @property
+    def total_elapsed_seconds(self) -> float:
+        return sum(r.elapsed_seconds for r in self._round_entries())
+
+    @property
+    def mean_elapsed_seconds(self) -> float:
+        entries = self._round_entries()
+        return self.total_elapsed_seconds / len(entries) if entries else 0.0
+
+
 @dataclass
-class BatchSummary:
+class BatchSummary(RoundAggregates):
     """Aggregate view over a batch of rounds."""
 
     rounds: List[BatchRound] = field(default_factory=list)
 
-    @property
-    def total_rounds(self) -> int:
-        return len(self.rounds)
-
-    @property
-    def aborted_rounds(self) -> int:
-        return sum(1 for r in self.rounds if r.aborted)
-
-    @property
-    def total_elapsed_seconds(self) -> float:
-        return sum(r.elapsed_seconds for r in self.rounds)
-
-    @property
-    def mean_elapsed_seconds(self) -> float:
-        return self.total_elapsed_seconds / len(self.rounds) if self.rounds else 0.0
+    def _round_entries(self) -> Sequence:
+        return self.rounds
 
 
 class BatchAuctionRunner:

@@ -1,0 +1,96 @@
+"""Declarative scenarios: one spec, one facade, every runner.
+
+This package is the front door of the library.  A scenario is *data* — a
+:class:`~repro.scenarios.spec.ScenarioSpec` naming a mechanism, workload,
+latency model / topology, adversary strategies and framework configuration via
+string kinds — and :class:`~repro.scenarios.simulation.Simulation` executes it
+through the existing runners, returning uniform
+:class:`~repro.scenarios.runner.RunRecord` rows::
+
+    from repro.scenarios import ScenarioSpec, Simulation
+
+    spec = ScenarioSpec(mechanism="standard", users=50, seed=7)
+    with Simulation.from_file("scenario.toml") as sim:
+        print(sim.run().to_dict())
+
+Specs round-trip losslessly through JSON and TOML files
+(:mod:`repro.scenarios.io`), sweeps express grids over any spec field
+(:mod:`repro.scenarios.sweep`), and the paper's Figure 4 / Figure 5
+experiments ship as built-in sweep specs (:mod:`repro.scenarios.builtin`).
+New mechanisms/workloads/latency models/adversaries plug in through the
+registries (:mod:`repro.scenarios.registry`) — a registry entry plus a spec
+file is a complete new scenario.
+"""
+
+from repro.scenarios.builtin import BUILTIN_SWEEPS, builtin_sweep, figure4_sweep, figure5_sweep
+from repro.scenarios.io import (
+    dump_spec,
+    dump_sweep,
+    dumps_toml,
+    load_any,
+    load_spec,
+    load_sweep,
+)
+from repro.scenarios.registry import (
+    BIDDER_STRATEGIES,
+    LATENCIES,
+    MECHANISMS,
+    TOPOLOGIES,
+    WORKLOADS,
+    Registry,
+)
+from repro.scenarios.runner import RunRecord, run_scenario
+from repro.scenarios.simulation import BatchResult, Simulation, run_file
+from repro.scenarios.spec import (
+    BidderSpec,
+    ComponentSpec,
+    ConfigSpec,
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    parse_assignments,
+    spec_from_dict,
+    spec_to_dict,
+    spec_with_overrides,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.scenarios.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "BIDDER_STRATEGIES",
+    "BUILTIN_SWEEPS",
+    "BatchResult",
+    "BidderSpec",
+    "ComponentSpec",
+    "ConfigSpec",
+    "LATENCIES",
+    "MECHANISMS",
+    "Registry",
+    "RunRecord",
+    "ScenarioSpec",
+    "Simulation",
+    "SpecError",
+    "SweepResult",
+    "SweepSpec",
+    "TOPOLOGIES",
+    "WORKLOADS",
+    "builtin_sweep",
+    "dump_spec",
+    "dump_sweep",
+    "dumps_toml",
+    "figure4_sweep",
+    "figure5_sweep",
+    "load_any",
+    "load_spec",
+    "load_sweep",
+    "parse_assignments",
+    "run_file",
+    "run_scenario",
+    "run_sweep",
+    "spec_from_dict",
+    "spec_to_dict",
+    "spec_with_overrides",
+    "sweep_from_dict",
+    "sweep_to_dict",
+]

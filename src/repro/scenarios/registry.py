@@ -1,0 +1,189 @@
+"""Registries mapping spec *kinds* to component factories.
+
+This is the extension contract of the scenario layer: adding a new mechanism,
+workload, latency model, bidder strategy or topology to the library means
+registering a factory under a string kind — after which it is reachable from
+every spec file, every CLI invocation and every sweep, with no new constructor
+plumbing anywhere (see DESIGN.md, "The scenario registry contract").
+
+Factories are plain callables invoked with the spec's keyword parameters.
+``TypeError``/``ValueError`` raised by a factory is converted into a
+:class:`~repro.scenarios.spec.SpecError` naming the offending spec path, so a
+typo in a spec file produces an actionable message rather than a traceback.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.scenarios.spec import ComponentSpec, SpecError
+
+__all__ = [
+    "Registry",
+    "MECHANISMS",
+    "WORKLOADS",
+    "LATENCIES",
+    "BIDDER_STRATEGIES",
+    "TOPOLOGIES",
+]
+
+
+class Registry:
+    """A named mapping from string kinds to component factories."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self._factories: Dict[str, Callable[..., Any]] = {}
+
+    # -- registration --------------------------------------------------------------
+    def register(self, kind: str, factory: Optional[Callable[..., Any]] = None):
+        """Register ``factory`` under ``kind`` (usable as a decorator).
+
+        Re-registering an existing kind raises — shadowing a built-in would
+        silently change what every existing spec file means.  Use
+        :meth:`unregister` first if replacement is really intended.
+        """
+
+        def _register(func: Callable[..., Any]) -> Callable[..., Any]:
+            if kind in self._factories:
+                raise ValueError(f"{self.label} kind {kind!r} is already registered")
+            self._factories[kind] = func
+            return func
+
+        return _register(factory) if factory is not None else _register
+
+    def unregister(self, kind: str) -> None:
+        self._factories.pop(kind, None)
+
+    def available(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._factories
+
+    # -- construction --------------------------------------------------------------
+    def create(self, component: ComponentSpec, path: str, **extra: Any) -> Any:
+        """Build the component, naming ``path`` in any validation error.
+
+        ``extra`` carries runner-supplied keyword arguments (e.g. the scenario
+        seed); they are only passed to factories that accept them, so factories
+        without a ``seed`` parameter stay trivially simple.
+        """
+        factory = self._factories.get(component.kind)
+        if factory is None:
+            raise SpecError(
+                path,
+                f"unknown {self.label} kind {component.kind!r}; "
+                f"available: {', '.join(self.available())}",
+            )
+        kwargs = dict(component.params)
+        if extra:
+            accepted = _accepted_parameters(factory)
+            for key, value in extra.items():
+                if key in kwargs:
+                    continue  # explicit spec parameters win over runner defaults
+                if accepted is None or key in accepted:
+                    kwargs[key] = value
+        try:
+            return factory(**kwargs)
+        except SpecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                path, f"invalid parameters for {self.label} {component.kind!r}: {exc}"
+            ) from exc
+
+
+@functools.lru_cache(maxsize=None)
+def _accepted_parameters(factory: Callable[..., Any]) -> Optional[frozenset]:
+    """Keyword names ``factory`` accepts, or ``None`` when it takes ``**kwargs``."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins without introspectable signatures
+        return None
+    names = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            names.add(parameter.name)
+    return frozenset(names)
+
+
+MECHANISMS = Registry("mechanism")
+WORKLOADS = Registry("workload")
+LATENCIES = Registry("latency model")
+BIDDER_STRATEGIES = Registry("bidder strategy")
+TOPOLOGIES = Registry("topology")
+
+
+# ---------------------------------------------------------------- built-in kinds --
+def _register_builtins() -> None:
+    from repro.adversary.bidder_behaviors import (
+        InconsistentBidder,
+        InvalidBidder,
+        ScalingBidder,
+        SilentBidder,
+    )
+    from repro.auctions.double_auction import DoubleAuction
+    from repro.auctions.greedy import GreedyStandardAuction
+    from repro.auctions.standard_auction import StandardAuction
+    from repro.auctions.vcg import ExactVCGAuction
+    from repro.community.topology import generate_community_network
+    from repro.community.workload import (
+        DoubleAuctionWorkload,
+        StandardAuctionWorkload,
+        VRSessionWorkload,
+    )
+    from repro.net.latency import (
+        BandwidthLatencyModel,
+        ConstantLatencyModel,
+        UniformLatencyModel,
+        ZeroLatencyModel,
+    )
+
+    MECHANISMS.register("double", DoubleAuction)
+    MECHANISMS.register("standard", StandardAuction)
+    MECHANISMS.register("vcg", ExactVCGAuction)
+    MECHANISMS.register("greedy", GreedyStandardAuction)
+
+    WORKLOADS.register("double", DoubleAuctionWorkload)
+    WORKLOADS.register("standard", StandardAuctionWorkload)
+    WORKLOADS.register("vr_sessions", VRSessionWorkload)
+
+    LATENCIES.register("zero", ZeroLatencyModel)
+    LATENCIES.register("constant", ConstantLatencyModel)
+    LATENCIES.register("uniform", UniformLatencyModel)
+    LATENCIES.register("bandwidth", BandwidthLatencyModel)
+    # The WAN-ish model both figure experiments use.  This registration is the
+    # single source of the calibration constants; bench.harness's
+    # default_latency_model() delegates here.
+    LATENCIES.register(
+        "wan",
+        functools.partial(BandwidthLatencyModel, base=0.003, bandwidth_bytes_per_s=12.5e6, jitter=0.001),
+    )
+    # "community" is resolved by the runner from the generated topology; the
+    # registration here only reserves the kind so it shows up in listings.
+    LATENCIES.register("community", _community_latency_placeholder)
+
+    BIDDER_STRATEGIES.register("inconsistent", InconsistentBidder)
+    BIDDER_STRATEGIES.register("silent", SilentBidder)
+    BIDDER_STRATEGIES.register("invalid", InvalidBidder)
+    BIDDER_STRATEGIES.register("scaling", ScalingBidder)
+
+    TOPOLOGIES.register("community", generate_community_network)
+
+
+def _community_latency_placeholder(**kwargs: Any):
+    raise ValueError(
+        "the 'community' latency model is derived from the scenario topology; "
+        "set 'topology' in the spec instead of instantiating it directly"
+    )
+
+
+_register_builtins()

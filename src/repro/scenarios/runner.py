@@ -1,0 +1,294 @@
+"""Execute one :class:`~repro.scenarios.spec.ScenarioSpec` and record the result.
+
+:func:`run_scenario` is the single-point executor behind the
+:class:`~repro.scenarios.simulation.Simulation` facade, the sweep engine and
+(indirectly) the figure experiments: it resolves the spec's registry references
+into live components, dispatches to the existing runners
+(:class:`~repro.core.framework.DistributedAuctioneer`,
+:class:`~repro.core.framework.CentralizedAuctioneer`,
+:class:`~repro.runtime.auction_run.AuctionRun`) and normalises whatever they
+report into one :class:`RunRecord` schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.auctions.base import AllocationAlgorithm, BidVector
+from repro.auctions.engine import resolve_engine
+from repro.community.workload import default_provider_ids
+from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer
+from repro.core.outcome import Outcome
+from repro.net.latency import LatencyModel
+from repro.runtime.auction_run import AuctionRun
+from repro.scenarios.registry import (
+    BIDDER_STRATEGIES,
+    LATENCIES,
+    MECHANISMS,
+    TOPOLOGIES,
+    WORKLOADS,
+)
+from repro.scenarios.spec import ComponentSpec, ScenarioSpec, SpecError
+
+__all__ = [
+    "RunRecord",
+    "build_mechanism",
+    "build_workload",
+    "build_latency_model",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The uniform result schema of every scenario execution.
+
+    One record per round, whatever the runner: scenario identity and shape,
+    protocol cost (time / messages / bytes) and the economic outcome.
+    :meth:`to_dict` renders the record JSON-ready.  Figure-specific
+    annotations (the executor count of a Figure 4 point, the ``k`` of a
+    Figure 5 point) live on :class:`~repro.bench.harness.ExperimentPoint`,
+    which the harness derives from these records via ``record_to_point``.
+    """
+
+    name: str
+    series: str
+    runner: str
+    mechanism: str
+    engine: Optional[str]
+    users: int
+    providers: int
+    executors: int
+    k: int
+    parallel: bool
+    instance: int
+    seed: int
+    elapsed_seconds: float
+    messages: int
+    bytes_transferred: int
+    aborted: bool
+    winners: int
+    total_paid: float
+    total_received: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "series": self.series,
+            "runner": self.runner,
+            "mechanism": self.mechanism,
+            "engine": self.engine,
+            "users": self.users,
+            "providers": self.providers,
+            "executors": self.executors,
+            "k": self.k,
+            "parallel": self.parallel,
+            "instance": self.instance,
+            "seed": self.seed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "messages": self.messages,
+            "bytes": self.bytes_transferred,
+            "aborted": self.aborted,
+            "winners": self.winners,
+            "total_paid": self.total_paid,
+            "total_received": self.total_received,
+        }
+        return data
+
+
+# ------------------------------------------------------------------- components --
+def build_mechanism(spec: ScenarioSpec) -> AllocationAlgorithm:
+    """The spec's allocation algorithm, re-targeted at the requested engine."""
+    mechanism = MECHANISMS.create(spec.mechanism, "mechanism")
+    if spec.engine is not None:
+        mechanism = resolve_engine(mechanism, spec.engine)
+    return mechanism
+
+
+def build_workload(spec: ScenarioSpec):
+    """The spec's workload generator, seeded with the scenario seed."""
+    return WORKLOADS.create(spec.effective_workload(), "workload", seed=spec.seed)
+
+
+def build_topology(spec: ScenarioSpec):
+    """The generated community network, or ``None`` for flat scenarios."""
+    if spec.topology is None:
+        return None
+    return TOPOLOGIES.create(
+        spec.topology,
+        "topology",
+        seed=spec.seed,
+        num_gateways=spec.providers,
+        num_nodes=max(spec.users + spec.providers, 20),
+    )
+
+
+def build_latency_model(spec: ScenarioSpec, topology=None) -> LatencyModel:
+    """The spec's latency model; ``"community"`` derives it from the topology."""
+    if spec.latency.kind == "community":
+        if topology is None:
+            topology = build_topology(spec)
+        if topology is None:
+            raise SpecError("latency", "the 'community' latency model requires a topology")
+        return topology.latency_model(**dict(spec.latency.params))
+    return LATENCIES.create(spec.latency, "latency")
+
+
+def _bidder_strategies(spec: ScenarioSpec, user_ids) -> Dict[str, Any]:
+    strategies: Dict[str, Any] = {}
+    for i, bidder in enumerate(spec.bidders):
+        path = f"bidders[{i}]"
+        targets: List[str] = list(bidder.users)
+        for index in bidder.indices:
+            if index >= len(user_ids):
+                raise SpecError(
+                    f"{path}.indices",
+                    f"user index {index} out of range for {len(user_ids)} users",
+                )
+            targets.append(user_ids[index])
+        known = set(user_ids)
+        for user_id in targets:
+            if user_id not in known:
+                raise SpecError(
+                    f"{path}.users", f"unknown user id {user_id!r} in this workload"
+                )
+            if user_id in strategies:
+                raise SpecError(
+                    path,
+                    f"user {user_id!r} is selected by more than one bidder entry; "
+                    "each user may carry at most one strategy",
+                )
+            # One instance per user: strategies may carry per-provider state.
+            strategies[user_id] = BIDDER_STRATEGIES.create(
+                ComponentSpec(bidder.kind, bidder.params), path
+            )
+    return strategies
+
+
+# --------------------------------------------------------------------- execution --
+def run_scenario(
+    spec: ScenarioSpec,
+    instance: int = 0,
+    *,
+    mechanism: Optional[AllocationAlgorithm] = None,
+    workload=None,
+    latency_model: Optional[LatencyModel] = None,
+    topology=None,
+) -> RunRecord:
+    """Run one round of the scenario and return its :class:`RunRecord`.
+
+    The keyword overrides let callers that amortise state across rounds (the
+    facade, the sweep engine, the figure experiments) pass in pre-resolved
+    components; semantics are identical either way.
+    """
+    if mechanism is None:
+        mechanism = build_mechanism(spec)
+    if workload is None:
+        workload = build_workload(spec)
+    if topology is None and spec.topology is not None:
+        topology = build_topology(spec)
+
+    if topology is not None:
+        provider_ids = list(topology.gateways)
+        if len(provider_ids) != spec.providers:
+            raise SpecError(
+                "topology",
+                f"topology produced {len(provider_ids)} gateways for providers={spec.providers}",
+            )
+    else:
+        provider_ids = default_provider_ids(spec.providers)
+
+    bids: BidVector = workload.generate(
+        spec.users, spec.providers, provider_ids=provider_ids, instance=instance
+    )
+    executor_ids = (
+        provider_ids[: spec.executors] if spec.executors is not None else provider_ids
+    )
+
+    if spec.runner == "centralized":
+        report = CentralizedAuctioneer(mechanism, seed=spec.seed).run(bids)
+        outcome = report.outcome
+        if not spec.measure_compute:
+            # The centralised baseline always times with a real stopwatch;
+            # honour the spec's determinism contract by dropping the reading.
+            outcome = dataclasses.replace(outcome, elapsed_time=0.0)
+        # The trusted auctioneer sees every provider's ask — executor
+        # subsetting does not apply, so the record must not claim it did.
+        executor_ids = provider_ids
+    elif spec.runner == "distributed":
+        if latency_model is None:
+            latency_model = build_latency_model(spec, topology)
+        auctioneer = DistributedAuctioneer(
+            mechanism,
+            providers=executor_ids,
+            config=spec.config.to_config(),
+            latency_model=latency_model,
+            seed=spec.seed,
+            measure_compute=spec.measure_compute,
+        )
+        report = auctioneer.run_from_bids(bids)
+        outcome = report.outcome
+    else:  # auction_run
+        if spec.executors is not None:
+            raise SpecError(
+                "executors",
+                "executor subsetting is not supported by the 'auction_run' runner "
+                "(every provider in the workload hosts a node)",
+            )
+        if latency_model is None:
+            latency_model = build_latency_model(spec, topology)
+        run = AuctionRun(
+            bids,
+            mechanism,
+            config=spec.config.to_config(),
+            bidder_strategies=_bidder_strategies(spec, list(bids.user_ids)),
+            deadline=spec.deadline,
+            latency_model=latency_model,
+            seed=spec.seed,
+            measure_compute=spec.measure_compute,
+        )
+        outcome = run.execute().outcome
+
+    return record_from_outcome(spec, instance, outcome, mechanism, len(executor_ids))
+
+
+def record_from_outcome(
+    spec: ScenarioSpec,
+    instance: int,
+    outcome: Outcome,
+    mechanism: AllocationAlgorithm,
+    executors: int,
+) -> RunRecord:
+    """Normalise an :class:`~repro.core.outcome.Outcome` into a :class:`RunRecord`."""
+    aborted = outcome.aborted
+    winners = 0
+    total_paid = 0.0
+    total_received = 0.0
+    if not aborted:
+        result = outcome.auction_result
+        winners = len(result.allocation.winners())
+        total_paid = result.payments.total_paid
+        total_received = result.payments.total_received
+    return RunRecord(
+        name=spec.name,
+        series=spec.default_series(),
+        runner=spec.runner,
+        mechanism=mechanism.name,
+        engine=spec.engine,
+        users=spec.users,
+        providers=spec.providers,
+        executors=executors,
+        k=spec.config.k,
+        parallel=spec.config.parallel,
+        instance=instance,
+        seed=spec.seed,
+        elapsed_seconds=outcome.elapsed_time,
+        messages=outcome.messages,
+        bytes_transferred=outcome.bytes_transferred,
+        aborted=aborted,
+        winners=winners,
+        total_paid=total_paid,
+        total_received=total_received,
+    )

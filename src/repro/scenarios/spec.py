@@ -1,0 +1,624 @@
+"""The declarative scenario specification tree.
+
+A :class:`ScenarioSpec` is a frozen, pure-data description of one auction
+scenario: which mechanism and execution engine to run, which workload draws the
+bids, how many users/providers participate, the framework configuration, the
+latency model (or a generated community topology), optional adversarial bidder
+strategies, and the seeds.  Component choices are expressed as *string kinds*
+resolved against the registries in :mod:`repro.scenarios.registry`, so a spec
+can be written to (and read from) a JSON or TOML file without losing anything.
+
+A :class:`SweepSpec` is a base scenario plus a grid: either explicit ``points``
+(a list of dotted-path override mappings, run in order) or ``axes`` (an ordered
+mapping of dotted paths to value lists, expanded as a cartesian product).  The
+paper's Figure 4 and Figure 5 experiments are shipped as built-in sweep specs
+(:mod:`repro.scenarios.builtin`).
+
+Everything in this module is deliberately registry-agnostic: *kinds* are
+validated when components are built (:mod:`repro.scenarios.runner`), not when
+the spec is parsed, so user-registered kinds work transparently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.config import FrameworkConfig
+
+__all__ = [
+    "SpecError",
+    "ComponentSpec",
+    "ConfigSpec",
+    "BidderSpec",
+    "ScenarioSpec",
+    "SweepSpec",
+    "RUNNERS",
+    "spec_from_dict",
+    "spec_to_dict",
+    "sweep_from_dict",
+    "sweep_to_dict",
+    "spec_with_overrides",
+    "parse_assignments",
+    "apply_overrides",
+]
+
+#: The runner kinds a scenario may dispatch to.
+RUNNERS = ("distributed", "centralized", "auction_run")
+
+
+class SpecError(ValueError):
+    """A scenario spec is malformed.  The message always names the offending path."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        self.message = message
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+def _freeze_params(params: Optional[Mapping[str, Any]]) -> Mapping[str, Any]:
+    return dict(params) if params else {}
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """A registry reference: a string ``kind`` plus keyword parameters.
+
+    In spec files a component is either a bare string (``"double"``) or a table
+    with a ``kind`` key whose remaining keys are the factory parameters
+    (``{"kind": "standard", "epsilon": 0.5}``).
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise SpecError("kind", "component kind must be a non-empty string")
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    # -- serialization ------------------------------------------------------------
+    @staticmethod
+    def from_value(value: Any, path: str) -> "ComponentSpec":
+        if isinstance(value, ComponentSpec):
+            return value
+        if isinstance(value, str):
+            return ComponentSpec(value)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            kind = data.pop("kind", None)
+            if not isinstance(kind, str) or not kind:
+                raise SpecError(path, "expected a 'kind' string in the component table")
+            return ComponentSpec(kind, data)
+        raise SpecError(path, f"expected a string or a table, got {type(value).__name__}")
+
+    def to_value(self) -> Any:
+        if not self.params:
+            return self.kind
+        if "kind" in self.params:
+            raise SpecError("params", "component parameters may not shadow 'kind'")
+        return {"kind": self.kind, **self.params}
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """Pure-data mirror of :class:`~repro.core.config.FrameworkConfig`."""
+
+    k: int = 1
+    parallel: bool = False
+    num_groups: Optional[int] = None
+    agreement_mode: str = "batched"
+    use_common_coin: bool = True
+    require_quorum: bool = True
+
+    def __post_init__(self) -> None:
+        self.to_config()  # validate eagerly: a frozen spec is always runnable
+
+    def to_config(self) -> FrameworkConfig:
+        """Build the runtime configuration (re-validating the parameters)."""
+        try:
+            return FrameworkConfig(
+                k=self.k,
+                parallel=self.parallel,
+                num_groups=self.num_groups,
+                agreement_mode=self.agreement_mode,
+                use_common_coin=self.use_common_coin,
+                require_quorum=self.require_quorum,
+            )
+        except ValueError as exc:
+            raise SpecError("config", str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class BidderSpec:
+    """One adversarial bidder strategy applied to a set of users.
+
+    Users are selected by explicit ids (``users``) and/or by position in the
+    generated workload (``indices``).  Each selected user receives its *own*
+    strategy instance (strategies may carry per-user state).  Bidder specs only
+    take effect with the ``auction_run`` runner, which is the only one that
+    simulates real bidder nodes.
+    """
+
+    kind: str
+    users: Tuple[str, ...] = ()
+    indices: Tuple[int, ...] = ()
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    #: Table keys with structural meaning; strategy parameters may not use them,
+    #: or the dumped form could not be told apart from a selection on reload.
+    RESERVED_KEYS = frozenset({"kind", "users", "indices"})
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise SpecError("bidders.kind", "bidder strategy kind must be a non-empty string")
+        object.__setattr__(self, "users", tuple(self.users))
+        object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+        object.__setattr__(self, "params", _freeze_params(self.params))
+        if not self.users and not self.indices:
+            raise SpecError("bidders", "a bidder entry must select users via 'users' or 'indices'")
+        if any(i < 0 for i in self.indices):
+            raise SpecError("bidders.indices", "user indices must be non-negative")
+        reserved = self.RESERVED_KEYS & set(self.params)
+        if reserved:
+            raise SpecError(
+                "bidders",
+                f"strategy parameters may not use the reserved keys {sorted(reserved)}",
+            )
+
+    @staticmethod
+    def from_value(value: Any, path: str) -> "BidderSpec":
+        if isinstance(value, BidderSpec):
+            return value
+        if not isinstance(value, Mapping):
+            raise SpecError(path, f"expected a table, got {type(value).__name__}")
+        data = dict(value)
+        kind = data.pop("kind", None)
+        if not isinstance(kind, str) or not kind:
+            raise SpecError(path, "expected a 'kind' string in the bidder table")
+        users = data.pop("users", ())
+        indices = data.pop("indices", ())
+        if isinstance(users, str):
+            users = (users,)
+        if isinstance(indices, int) and not isinstance(indices, bool):
+            indices = (indices,)
+        if not isinstance(users, (list, tuple)) or not all(
+            isinstance(u, str) for u in users
+        ):
+            raise SpecError(f"{path}.users", "expected a list of user-id strings")
+        if not isinstance(indices, (list, tuple)) or not all(
+            isinstance(i, int) and not isinstance(i, bool) for i in indices
+        ):
+            raise SpecError(f"{path}.indices", "expected a list of integers")
+        try:
+            return BidderSpec(kind, tuple(users), tuple(indices), data)
+        except SpecError as exc:
+            # Replace the constructor's generic path with the precise one.
+            raise SpecError(path, exc.message) from exc
+
+    def to_value(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.users:
+            data["users"] = list(self.users)
+        if self.indices:
+            data["indices"] = list(self.indices)
+        data.update(self.params)
+        return data
+
+
+#: Mechanism kind -> the workload kind used when the spec omits ``workload``.
+_DEFAULT_WORKLOADS = {
+    "double": "double",
+    "standard": "standard",
+    "vcg": "standard",
+    "greedy": "standard",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable description of one auction scenario.
+
+    Attributes:
+        name: free-form label, echoed into every :class:`RunRecord`.
+        mechanism: registry reference for the allocation algorithm.
+        engine: optional execution-engine override (``"reference"`` /
+            ``"vectorized"``); ``None`` runs the mechanism exactly as built.
+        workload: registry reference for the bid generator; defaults to the
+            canonical workload of the mechanism kind.
+        users / providers: scenario size.  ``providers`` is the number of
+            *sellers* in the workload; ``executors`` (when set) restricts the
+            protocol to the first ``executors`` of them (the paper's minimum
+            2k+1 quorum in Figure 4).  Only the ``distributed`` runner
+            subsets: ``centralized`` always sees every ask (and reports the
+            full provider count), and ``auction_run`` rejects the field.
+        runner: ``"distributed"`` (default), ``"centralized"`` (trusted
+            baseline) or ``"auction_run"`` (full round with bidder nodes).
+        config: the framework configuration for distributed runs.
+        latency: registry reference for the latency model; the special kind
+            ``"community"`` uses the LAN/WAN model of the generated topology.
+        topology: optional community-topology reference; when set, providers
+            are the topology's gateways.
+        bidders: adversarial bidder strategies (``auction_run`` runner only).
+        rounds: default round count for :meth:`Simulation.run_batch`.
+        seed: master seed (workload, network jitter, mechanism randomness).
+        deadline: bid-collection deadline for ``auction_run``.
+        measure_compute: charge measured handler CPU time to the providers'
+            virtual clocks (True matches the benchmark figures; False keeps
+            elapsed time fully deterministic).
+        series: optional label for grouping sweep results; a descriptive
+            default is derived from the runner and configuration.
+    """
+
+    name: str = "scenario"
+    mechanism: ComponentSpec = field(default_factory=lambda: ComponentSpec("double"))
+    engine: Optional[str] = None
+    workload: Optional[ComponentSpec] = None
+    users: int = 50
+    providers: int = 8
+    executors: Optional[int] = None
+    runner: str = "distributed"
+    config: ConfigSpec = field(default_factory=ConfigSpec)
+    latency: ComponentSpec = field(default_factory=lambda: ComponentSpec("zero"))
+    topology: Optional[ComponentSpec] = None
+    bidders: Tuple[BidderSpec, ...] = ()
+    rounds: int = 1
+    seed: int = 0
+    deadline: float = 1.0
+    measure_compute: bool = True
+    series: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Coerce convenience forms so ScenarioSpec(mechanism="standard", ...)
+        # works directly, not only via spec_from_dict.
+        for name in ("mechanism", "latency"):
+            object.__setattr__(self, name, ComponentSpec.from_value(getattr(self, name), name))
+        for name in ("workload", "topology"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, ComponentSpec.from_value(value, name))
+        if isinstance(self.config, Mapping):
+            object.__setattr__(self, "config", _config_from_dict(self.config, "config"))
+        object.__setattr__(
+            self,
+            "bidders",
+            tuple(
+                BidderSpec.from_value(bidder, f"bidders[{i}]")
+                for i, bidder in enumerate(self.bidders)
+            ),
+        )
+        if self.users < 1:
+            raise SpecError("users", "need at least one user")
+        if self.providers < 1:
+            raise SpecError("providers", "need at least one provider")
+        if self.executors is not None and not 1 <= self.executors <= self.providers:
+            raise SpecError(
+                "executors",
+                f"executors must be in [1, providers={self.providers}], got {self.executors}",
+            )
+        if self.runner not in RUNNERS:
+            raise SpecError(
+                "runner", f"unknown runner {self.runner!r}; expected one of {', '.join(RUNNERS)}"
+            )
+        if self.rounds < 0:
+            raise SpecError("rounds", "rounds must be non-negative")
+        if self.deadline <= 0:
+            raise SpecError("deadline", "deadline must be positive")
+        if self.engine is not None:
+            from repro.auctions.engine import ENGINES
+
+            if self.engine not in ENGINES:
+                raise SpecError(
+                    "engine",
+                    f"unknown engine {self.engine!r}; expected one of {', '.join(ENGINES)}",
+                )
+        if self.bidders and self.runner != "auction_run":
+            raise SpecError(
+                "bidders",
+                "bidder strategies require the 'auction_run' runner "
+                f"(got runner={self.runner!r})",
+            )
+        if self.latency.kind == "community" and self.topology is None:
+            raise SpecError("latency", "the 'community' latency model requires a topology")
+
+    # -- derived defaults ---------------------------------------------------------
+    def effective_workload(self) -> ComponentSpec:
+        """The workload to use: the explicit one, or the mechanism's canonical one."""
+        if self.workload is not None:
+            return self.workload
+        kind = _DEFAULT_WORKLOADS.get(self.mechanism.kind)
+        if kind is None:
+            raise SpecError(
+                "workload",
+                f"no default workload for mechanism kind {self.mechanism.kind!r}; "
+                "set 'workload' explicitly",
+            )
+        return ComponentSpec(kind)
+
+    def default_series(self) -> str:
+        """The series label used when ``series`` is not set."""
+        if self.series is not None:
+            return self.series
+        if self.runner == "centralized":
+            return "centralised"
+        config = self.config
+        prefix = "auction-run" if self.runner == "auction_run" else "distributed"
+        if config.parallel:
+            groups = config.num_groups
+            label = f"p={groups}" if groups is not None else "p=max"
+            return f"{label} ({prefix}, k={config.k})"
+        return f"{prefix} k={config.k}"
+
+
+# ---------------------------------------------------------------------- parsing --
+_SCENARIO_FIELDS = {f.name for f in fields(ScenarioSpec)}
+_CONFIG_FIELDS = {f.name for f in fields(ConfigSpec)}
+
+
+def _require(value: Any, types, path: str, label: str) -> Any:
+    if isinstance(value, bool) and bool not in (types if isinstance(types, tuple) else (types,)):
+        raise SpecError(path, f"expected {label}, got a boolean")
+    if not isinstance(value, types):
+        raise SpecError(path, f"expected {label}, got {type(value).__name__}")
+    return value
+
+
+def _config_from_dict(data: Any, path: str) -> ConfigSpec:
+    if isinstance(data, ConfigSpec):
+        return data
+    if not isinstance(data, Mapping):
+        raise SpecError(path, f"expected a table, got {type(data).__name__}")
+    unknown = set(data) - _CONFIG_FIELDS
+    if unknown:
+        raise SpecError(
+            f"{path}.{sorted(unknown)[0]}",
+            f"unknown configuration key; expected one of {', '.join(sorted(_CONFIG_FIELDS))}",
+        )
+    try:
+        return ConfigSpec(**data)
+    except SpecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise SpecError(path, str(exc)) from exc
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
+    """Parse a scenario spec from a plain (JSON/TOML-shaped) mapping.
+
+    Raises :class:`SpecError` with a dotted path to the offending key on any
+    unknown key, wrong type, or invalid value.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError("", f"expected a table at the top level, got {type(data).__name__}")
+    data = dict(data)
+    unknown = set(data) - _SCENARIO_FIELDS
+    if unknown:
+        raise SpecError(
+            sorted(unknown)[0],
+            f"unknown scenario key; expected one of {', '.join(sorted(_SCENARIO_FIELDS))}",
+        )
+    kwargs: Dict[str, Any] = {}
+    if "name" in data:
+        kwargs["name"] = _require(data["name"], str, "name", "a string")
+    if "mechanism" in data:
+        kwargs["mechanism"] = ComponentSpec.from_value(data["mechanism"], "mechanism")
+    if "engine" in data and data["engine"] is not None:
+        kwargs["engine"] = _require(data["engine"], str, "engine", "a string")
+    if "workload" in data and data["workload"] is not None:
+        kwargs["workload"] = ComponentSpec.from_value(data["workload"], "workload")
+    for key in ("users", "providers", "executors", "rounds", "seed"):
+        if key in data and data[key] is not None:
+            kwargs[key] = _require(data[key], int, key, "an integer")
+    if "runner" in data:
+        kwargs["runner"] = _require(data["runner"], str, "runner", "a string")
+    if "config" in data:
+        kwargs["config"] = _config_from_dict(data["config"], "config")
+    if "latency" in data:
+        kwargs["latency"] = ComponentSpec.from_value(data["latency"], "latency")
+    if "topology" in data and data["topology"] is not None:
+        kwargs["topology"] = ComponentSpec.from_value(data["topology"], "topology")
+    if "bidders" in data:
+        entries = _require(data["bidders"], (list, tuple), "bidders", "a list")
+        kwargs["bidders"] = tuple(
+            BidderSpec.from_value(entry, f"bidders[{i}]") for i, entry in enumerate(entries)
+        )
+    if "deadline" in data:
+        kwargs["deadline"] = float(_require(data["deadline"], (int, float), "deadline", "a number"))
+    if "measure_compute" in data:
+        kwargs["measure_compute"] = _require(
+            data["measure_compute"], bool, "measure_compute", "a boolean"
+        )
+    if "series" in data and data["series"] is not None:
+        kwargs["series"] = _require(data["series"], str, "series", "a string")
+    return ScenarioSpec(**kwargs)
+
+
+def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Serialize a spec to a plain mapping (no ``None`` values, TOML-safe)."""
+    data: Dict[str, Any] = {
+        "name": spec.name,
+        "mechanism": spec.mechanism.to_value(),
+    }
+    if spec.engine is not None:
+        data["engine"] = spec.engine
+    if spec.workload is not None:
+        data["workload"] = spec.workload.to_value()
+    data["users"] = spec.users
+    data["providers"] = spec.providers
+    if spec.executors is not None:
+        data["executors"] = spec.executors
+    data["runner"] = spec.runner
+    config: Dict[str, Any] = {
+        "k": spec.config.k,
+        "parallel": spec.config.parallel,
+        "agreement_mode": spec.config.agreement_mode,
+        "use_common_coin": spec.config.use_common_coin,
+        "require_quorum": spec.config.require_quorum,
+    }
+    if spec.config.num_groups is not None:
+        config["num_groups"] = spec.config.num_groups
+    data["config"] = config
+    data["latency"] = spec.latency.to_value()
+    if spec.topology is not None:
+        data["topology"] = spec.topology.to_value()
+    if spec.bidders:
+        data["bidders"] = [bidder.to_value() for bidder in spec.bidders]
+    data["rounds"] = spec.rounds
+    data["seed"] = spec.seed
+    data["deadline"] = spec.deadline
+    data["measure_compute"] = spec.measure_compute
+    if spec.series is not None:
+        data["series"] = spec.series
+    return data
+
+
+# --------------------------------------------------------------------- overrides --
+def parse_assignments(assignments: Iterable[str]) -> Dict[str, Any]:
+    """Parse ``--set key=value`` strings into an override mapping.
+
+    Values are parsed as JSON where possible (``k=2``, ``parallel=true``,
+    ``epsilon=0.5``, ``users='["u0000"]'``) and fall back to bare strings
+    (``mechanism=standard``).
+    """
+    overrides: Dict[str, Any] = {}
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise SpecError("--set", f"expected key=value, got {assignment!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides
+
+
+def apply_overrides(data: Dict[str, Any], overrides: Mapping[str, Any]) -> Dict[str, Any]:
+    """Apply dotted-path overrides to a spec mapping, returning a new mapping.
+
+    ``{"config.k": 2}`` sets ``data["config"]["k"] = 2``, creating intermediate
+    tables as needed.  A path that traverses a non-table value is an error.
+    Component shorthands are normalised first, so ``mechanism.epsilon=0.5``
+    works even when the spec says just ``mechanism = "standard"``.
+    """
+    result = json.loads(json.dumps(data)) if data else {}
+    for path, value in overrides.items():
+        parts = path.split(".")
+        cursor = result
+        for i, part in enumerate(parts[:-1]):
+            node = cursor.get(part)
+            if isinstance(node, str) and part in ("mechanism", "workload", "latency", "topology"):
+                node = {"kind": node}
+                cursor[part] = node
+            elif node is None:
+                node = {}
+                cursor[part] = node
+            elif not isinstance(node, dict):
+                prefix = ".".join(parts[: i + 1])
+                raise SpecError(prefix, f"cannot override inside non-table value {node!r}")
+            cursor = node
+        cursor[parts[-1]] = value
+    return result
+
+
+def spec_with_overrides(spec: ScenarioSpec, overrides: Mapping[str, Any]) -> ScenarioSpec:
+    """A copy of ``spec`` with dotted-path overrides applied (re-validated)."""
+    if not overrides:
+        return spec
+    return spec_from_dict(apply_overrides(spec_to_dict(spec), overrides))
+
+
+# ------------------------------------------------------------------------- sweeps --
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of scenarios: one base spec plus per-point overrides.
+
+    Exactly one of ``points`` / ``axes`` may be non-empty (an empty sweep runs
+    the base spec once).  ``points`` is an explicit, ordered list of override
+    mappings (dotted paths); ``axes`` is an ordered mapping of dotted paths to
+    value lists, expanded as a cartesian product with the *first* axis varying
+    slowest.
+    """
+
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    name: str = "sweep"
+    points: Tuple[Mapping[str, Any], ...] = ()
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple(dict(p) for p in self.points))
+        object.__setattr__(
+            self, "axes", tuple((str(k), tuple(v)) for k, v in self.axes)
+        )
+        if self.points and self.axes:
+            raise SpecError("points", "a sweep may define 'points' or 'axes', not both")
+
+    def expand(self) -> List[Dict[str, Any]]:
+        """The ordered list of per-point override mappings."""
+        if self.points:
+            return [dict(point) for point in self.points]
+        if self.axes:
+            keys = [key for key, _ in self.axes]
+            products = itertools.product(*(values for _, values in self.axes))
+            return [dict(zip(keys, combo)) for combo in products]
+        return [{}]
+
+    def scenarios(self) -> List[ScenarioSpec]:
+        """One fully-validated :class:`ScenarioSpec` per grid point, in order."""
+        return [spec_with_overrides(self.base, overrides) for overrides in self.expand()]
+
+    def with_base_overrides(self, overrides: Mapping[str, Any]) -> "SweepSpec":
+        """This sweep with dotted-path overrides applied to its base spec."""
+        if not overrides:
+            return self
+        return SweepSpec(
+            base=spec_with_overrides(self.base, overrides),
+            name=self.name,
+            points=self.points,
+            axes=self.axes,
+        )
+
+
+_SWEEP_KEYS = {"name", "base", "points", "axes"}
+
+
+def sweep_from_dict(data: Mapping[str, Any]) -> SweepSpec:
+    """Parse a sweep spec from a plain mapping (see :func:`spec_from_dict`)."""
+    if not isinstance(data, Mapping):
+        raise SpecError("", f"expected a table at the top level, got {type(data).__name__}")
+    unknown = set(data) - _SWEEP_KEYS
+    if unknown:
+        raise SpecError(
+            sorted(unknown)[0],
+            f"unknown sweep key; expected one of {', '.join(sorted(_SWEEP_KEYS))}",
+        )
+    name = _require(data.get("name", "sweep"), str, "name", "a string")
+    base = spec_from_dict(_require(data.get("base", {}), Mapping, "base", "a table"))
+    points_raw = _require(data.get("points", []), (list, tuple), "points", "a list")
+    points = []
+    for i, point in enumerate(points_raw):
+        points.append(dict(_require(point, Mapping, f"points[{i}]", "a table")))
+    axes_raw = _require(data.get("axes", {}), Mapping, "axes", "a table")
+    axes = []
+    for key, values in axes_raw.items():
+        values = _require(values, (list, tuple), f"axes.{key}", "a list of values")
+        if not values:
+            raise SpecError(f"axes.{key}", "axis value list may not be empty")
+        axes.append((key, tuple(values)))
+    try:
+        return SweepSpec(base=base, name=name, points=tuple(points), axes=tuple(axes))
+    except SpecError:
+        raise
+
+
+def sweep_to_dict(sweep: SweepSpec) -> Dict[str, Any]:
+    """Serialize a sweep spec to a plain mapping."""
+    data: Dict[str, Any] = {"name": sweep.name, "base": spec_to_dict(sweep.base)}
+    if sweep.points:
+        data["points"] = [dict(point) for point in sweep.points]
+    if sweep.axes:
+        data["axes"] = {key: list(values) for key, values in sweep.axes}
+    return data

@@ -1,0 +1,120 @@
+"""Sweep execution: run every point of a :class:`SweepSpec`, amortising state.
+
+Mechanisms (and workloads) are resolved once per distinct configuration and
+shared across grid points, so the vectorized engine's pivot pool and solve
+memo survive the whole sweep — the same amortisation the hand-written figure
+experiments performed, now applied to every sweep automatically.  Mechanisms
+the sweep itself created are closed when the sweep finishes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.latency import LatencyModel
+from repro.scenarios.runner import (
+    RunRecord,
+    build_mechanism,
+    build_topology,
+    build_workload,
+    run_scenario,
+)
+from repro.scenarios.spec import ScenarioSpec, SweepSpec, spec_to_dict
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep, in grid order, with JSON export."""
+
+    name: str
+    base: Dict[str, Any]
+    records: List[RunRecord] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.name,
+            "base": self.base,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def series(self) -> Dict[str, List[RunRecord]]:
+        """Records grouped by series label, preserving grid order."""
+        groups: Dict[str, List[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.series, []).append(record)
+        return groups
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    *,
+    latency_model: Optional[LatencyModel] = None,
+) -> SweepResult:
+    """Run every grid point of the sweep and collect the records.
+
+    Args:
+        sweep: the sweep specification.
+        latency_model: optional pre-built model overriding every point's
+            ``latency`` reference (used by the figure experiments to honour a
+            caller-supplied model object that has no spec representation).
+    """
+    scenarios = sweep.scenarios()
+    result = SweepResult(name=sweep.name, base=spec_to_dict(sweep.base))
+
+    mechanisms: Dict[Tuple[Any, ...], Any] = {}
+    workloads: Dict[Tuple[Any, ...], Any] = {}
+    topologies: Dict[Tuple[Any, ...], Any] = {}
+    try:
+        for spec in scenarios:
+            mechanism = _cached(mechanisms, _mechanism_key(spec), build_mechanism, spec)
+            workload = _cached(workloads, _workload_key(spec), build_workload, spec)
+            topology = None
+            if spec.topology is not None:
+                topology = _cached(topologies, _topology_key(spec), build_topology, spec)
+            for instance in range(spec.rounds):
+                result.records.append(
+                    run_scenario(
+                        spec,
+                        instance,
+                        mechanism=mechanism,
+                        workload=workload,
+                        latency_model=latency_model,
+                        topology=topology,
+                    )
+                )
+    finally:
+        for mechanism in mechanisms.values():
+            close = getattr(mechanism, "close", None)
+            if close is not None:
+                close()
+    return result
+
+
+def _cached(cache: Dict, key, builder, spec: ScenarioSpec):
+    if key not in cache:
+        cache[key] = builder(spec)
+    return cache[key]
+
+
+def _component_key(component) -> Tuple[Any, ...]:
+    # repr keeps the key hashable even when parameters hold lists.
+    return (component.kind, repr(sorted(component.params.items())))
+
+
+def _mechanism_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
+    return (_component_key(spec.mechanism), spec.engine)
+
+
+def _workload_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
+    return (_component_key(spec.effective_workload()), spec.seed)
+
+
+def _topology_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
+    return (_component_key(spec.topology), spec.seed, spec.providers, spec.users)

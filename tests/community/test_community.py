@@ -10,6 +10,7 @@ from repro.community.topology import generate_community_network
 from repro.community.workload import (
     DoubleAuctionWorkload,
     StandardAuctionWorkload,
+    VRSessionWorkload,
     WorkloadParameters,
 )
 from repro.core.config import FrameworkConfig
@@ -100,6 +101,52 @@ class TestWorkloads:
         assert bids.provider_ids == ["gw1", "gw2"]
 
 
+class TestVRSessionWorkload:
+    def test_demand_is_bimodal(self):
+        workload = VRSessionWorkload(seed=0, session_fraction=0.5)
+        bids = workload.generate(400, 8)
+        bursty = [u for u in bids.users if u.demand >= 0.6]
+        idle = [u for u in bids.users if u.demand <= 0.3]
+        # Every user falls in one of the two modes; nothing in the gap.
+        assert len(bursty) + len(idle) == 400
+        assert 100 < len(bursty) < 300  # ~50% in-session
+
+    def test_in_session_users_value_bandwidth_more(self):
+        workload = VRSessionWorkload(seed=1, session_fraction=0.5, value_boost=2.0)
+        bids = workload.generate(300, 4)
+        bursty = [u.unit_value for u in bids.users if u.demand >= 0.6]
+        idle = [u.unit_value for u in bids.users if u.demand <= 0.3]
+        assert sum(bursty) / len(bursty) > sum(idle) / len(idle)
+
+    def test_capacity_is_scarce_and_costs_default_to_zero(self):
+        bids = VRSessionWorkload(seed=2).generate(100, 8)
+        assert all(p.unit_cost == 0.0 for p in bids.providers)
+        assert bids.total_capacity < bids.total_demand
+
+    def test_cost_range_enables_double_auction_use(self):
+        bids = VRSessionWorkload(seed=3, cost_low=0.1, cost_high=0.9).generate(50, 4)
+        assert all(0.1 <= p.unit_cost <= 0.9 for p in bids.providers)
+
+    def test_instances_reproducible(self):
+        workload = VRSessionWorkload(seed=4)
+        assert workload.generate(20, 3, instance=1) == workload.generate(20, 3, instance=1)
+        assert workload.generate(20, 3, instance=1) != workload.generate(20, 3, instance=2)
+
+    def test_session_fraction_zero_and_one(self):
+        calm = VRSessionWorkload(seed=5, session_fraction=0.0).generate(50, 4)
+        assert all(u.demand <= 0.3 for u in calm.users)
+        stormy = VRSessionWorkload(seed=5, session_fraction=1.0).generate(50, 4)
+        assert all(u.demand >= 0.6 for u in stormy.users)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            VRSessionWorkload(session_fraction=1.5)
+        with pytest.raises(ValueError):
+            VRSessionWorkload(burst_low=0.9, burst_high=0.1)
+        with pytest.raises(ValueError):
+            VRSessionWorkload(value_boost=0.0)
+
+
 class TestScenario:
     def test_double_auction_scenario_runs_end_to_end(self):
         scenario = BandwidthReservationScenario.double_auction(
@@ -128,3 +175,14 @@ class TestScenario:
         )
         result = scenario.auction_run(FrameworkConfig(k=1)).execute()
         assert not result.aborted
+
+    def test_centralized_forwards_seed(self):
+        scenario = BandwidthReservationScenario.standard_auction(
+            num_users=6, num_gateways=3, epsilon=0.5, seed=4
+        )
+        auctioneer = scenario.centralized(seed=17)
+        assert auctioneer.seed == 17
+        # Matching seeds give matching mechanism randomness (and thus results).
+        a = scenario.centralized(seed=17).run(scenario.bids)
+        b = scenario.centralized(seed=17).run(scenario.bids)
+        assert a.result == b.result

@@ -1,0 +1,187 @@
+"""Differential locks for the scenario front door.
+
+1. ``repro-auction sweep --spec <fig4/fig5 file> --json`` produces records
+   bit-identical to the ``fig4``/``fig5`` sub-commands on every deterministic
+   field.  ``elapsed_seconds`` is excluded *by design*: the figure specs run
+   with ``measure_compute=true``, so elapsed time includes measured handler
+   CPU wall-time and no two executions of *either* entry point are timing-
+   identical — everything the protocol agrees on (messages, bytes, outcome,
+   winners, payments) must match exactly.
+2. Spec round-trips: build → dump → load → run yields identical ``RunRecord``s
+   seed-for-seed, through both JSON and TOML, including ``elapsed_seconds``
+   (with ``measure_compute=false`` the virtual clock is fully deterministic).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    dump_spec,
+    dump_sweep,
+    figure4_sweep,
+    figure5_sweep,
+    load_spec,
+    load_sweep,
+    run_scenario,
+    run_sweep,
+    spec_from_dict,
+)
+
+
+def _without_timing(payload):
+    """Drop the wall-clock-dependent field from a sweep-JSON payload."""
+    for record in payload["records"]:
+        record.pop("elapsed_seconds")
+    return payload
+
+
+class TestFigureCliEquivalence:
+    def test_fig4_equals_sweep_spec(self, tmp_path, capsys):
+        sweep = figure4_sweep(n_values=(12,), k_values=(1, 2), seed=3)
+        spec_path = tmp_path / "fig4.json"
+        dump_sweep(sweep, spec_path)
+
+        assert main(["fig4", "--users", "12", "--k", "1", "2", "--seed", "3", "--json"]) == 0
+        via_fig4 = json.loads(capsys.readouterr().out)
+        assert main(["sweep", "--spec", str(spec_path), "--json"]) == 0
+        via_sweep = json.loads(capsys.readouterr().out)
+
+        assert _without_timing(via_fig4) == _without_timing(via_sweep)
+
+    def test_fig5_equals_sweep_spec(self, tmp_path, capsys):
+        sweep = figure5_sweep(n_values=(8,), p_values=(1, 4), epsilon=0.5, seed=3)
+        spec_path = tmp_path / "fig5.toml"
+        dump_sweep(sweep, spec_path)
+
+        assert main(
+            ["fig5", "--users", "8", "--parallelism", "1", "4",
+             "--epsilon", "0.5", "--seed", "3", "--json"]
+        ) == 0
+        via_fig5 = json.loads(capsys.readouterr().out)
+        assert main(["sweep", "--spec", str(spec_path), "--json"]) == 0
+        via_sweep = json.loads(capsys.readouterr().out)
+
+        assert _without_timing(via_fig5) == _without_timing(via_sweep)
+
+    def test_shipped_spec_files_match_builtin_sweeps(self):
+        import os
+
+        specs = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, "examples", "specs"
+        )
+        assert load_sweep(os.path.join(specs, "fig4.json")) == figure4_sweep()
+        assert load_sweep(os.path.join(specs, "fig5.toml")) == figure5_sweep()
+
+    def test_experiment_classes_delegate_to_sweep_engine(self):
+        from repro.bench.harness import Figure4Experiment
+
+        experiment = Figure4Experiment(n_values=(10,), k_values=(1,), seed=1)
+        points = experiment.run()
+        records = run_sweep(figure4_sweep(n_values=(10,), k_values=(1,), seed=1)).records
+        assert [(p.series, p.num_users, p.messages, p.bytes_transferred, p.aborted)
+                for p in points] == \
+               [(r.series, r.users, r.messages, r.bytes_transferred, r.aborted)
+                for r in records]
+
+
+class TestSpecRoundTripRuns:
+    @pytest.mark.parametrize("extension", ["json", "toml"])
+    def test_round_trip_run_identical_records(self, tmp_path, extension):
+        spec = spec_from_dict(
+            {
+                "name": "roundtrip",
+                "mechanism": {"kind": "standard", "epsilon": 0.5},
+                "workload": {"kind": "vr_sessions", "session_fraction": 0.4},
+                "users": 10,
+                "providers": 4,
+                "config": {"k": 1, "parallel": True, "num_groups": 2},
+                "latency": {"kind": "constant", "seconds": 0.001},
+                "seed": 13,
+                "measure_compute": False,
+            }
+        )
+        path = tmp_path / f"spec.{extension}"
+        dump_spec(spec, path)
+        loaded = load_spec(path)
+        assert loaded == spec
+        # Identical RunRecords including elapsed time (virtual clock only).
+        assert run_scenario(loaded) == run_scenario(spec)
+
+    def test_round_trip_survives_two_generations(self, tmp_path):
+        spec = spec_from_dict(
+            {"mechanism": "double", "users": 8, "providers": 4,
+             "latency": "constant", "measure_compute": False, "seed": 5}
+        )
+        first = tmp_path / "gen1.toml"
+        second = tmp_path / "gen2.json"
+        dump_spec(spec, first)
+        dump_spec(load_spec(first), second)
+        assert load_spec(second) == spec
+
+
+class TestCliSpecPaths:
+    def test_run_spec_json_output(self, tmp_path, capsys):
+        path = tmp_path / "run.toml"
+        dump_spec(
+            spec_from_dict(
+                {"mechanism": "double", "users": 8, "providers": 4,
+                 "latency": "constant", "measure_compute": False, "seed": 5}
+            ),
+            path,
+        )
+        assert main(["run", "--spec", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["users"] == 8
+        assert payload["aborted"] is False
+        # The record equals a direct library run of the same file.
+        direct = run_scenario(load_spec(path))
+        assert payload == direct.to_dict()
+
+    def test_run_spec_with_set_overrides(self, tmp_path, capsys):
+        path = tmp_path / "run.toml"
+        dump_spec(
+            spec_from_dict(
+                {"mechanism": "double", "users": 8, "providers": 4,
+                 "latency": "constant", "measure_compute": False}
+            ),
+            path,
+        )
+        assert main(
+            ["run", "--spec", str(path), "--set", "users=6", "--set", "config.k=1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["users"] == 6
+
+    def test_malformed_spec_reports_path_and_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text('mechanism = "nope"\nusers = 6\nproviders = 3\n')
+        assert main(["run", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mechanism kind 'nope'" in err
+        assert "available:" in err
+
+    def test_missing_spec_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(tmp_path / "ghost.json")]) == 2
+        assert "spec file not found" in capsys.readouterr().err
+
+    def test_sweep_rejects_nothing_silently(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"base": {"runner": "quantum"}}')
+        assert main(["sweep", "--spec", str(path)]) == 2
+        assert "unknown runner" in capsys.readouterr().err
+
+    def test_scenario_file_given_to_sweep_runs_single_point(self, tmp_path, capsys):
+        path = tmp_path / "one.json"
+        dump_spec(
+            spec_from_dict(
+                {"mechanism": "double", "users": 6, "providers": 3,
+                 "latency": "constant", "measure_compute": False}
+            ),
+            path,
+        )
+        assert main(["sweep", "--spec", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 1

@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.scenarios import dump_spec, dump_sweep, spec_from_dict
+from repro.scenarios.spec import SweepSpec
 
 
 class TestParser:
@@ -62,3 +66,93 @@ class TestCommands:
         assert main(["fig5", "--users", "6", "--parallelism", "1", "4", "--epsilon", "0.5"]) == 0
         out = capsys.readouterr().out
         assert "p=4" in out
+
+    def test_batch_small(self, capsys):
+        assert main(
+            ["batch", "--mechanism", "double", "--users", "8", "--providers", "4",
+             "--rounds", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rounds          : 2 (0 aborted)" in out
+
+    def test_run_json_output(self, capsys):
+        assert main(["run", "--users", "8", "--providers", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mechanism"] == "double-auction-waterfill"
+        assert payload["users"] == 8
+        assert payload["aborted"] is False
+
+
+class TestSpecDrivenCommands:
+    def _spec(self):
+        return spec_from_dict(
+            {
+                "name": "cli-spec",
+                "mechanism": "double",
+                "users": 8,
+                "providers": 4,
+                "latency": "constant",
+                "measure_compute": False,
+                "seed": 5,
+            }
+        )
+
+    def test_run_with_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "scenario.toml"
+        dump_spec(self._spec(), path)
+        assert main(["run", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "agreed (x, p)" in out
+        assert "users/providers : 8/4" in out
+
+    def test_flags_override_spec_only_when_explicit(self, tmp_path, capsys):
+        path = tmp_path / "scenario.toml"
+        dump_spec(self._spec(), path)
+        # Parser defaults (users=50) must not stomp the spec's users=8 ...
+        assert main(["run", "--spec", str(path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["users"] == 8
+        # ... but an explicit non-default flag wins over the spec.
+        assert main(["run", "--spec", str(path), "--users", "6", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["users"] == 6
+
+    def test_set_overrides_beat_flags(self, tmp_path, capsys):
+        path = tmp_path / "scenario.toml"
+        dump_spec(self._spec(), path)
+        assert main(
+            ["run", "--spec", str(path), "--users", "6", "--set", "users=4", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["users"] == 4
+
+    def test_batch_with_spec_file_json(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        dump_spec(self._spec(), path)
+        assert main(["batch", "--spec", str(path), "--set", "rounds=3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rounds"] == 3
+        assert len(payload["records"]) == 3
+
+    def test_sweep_command_runs_grid(self, tmp_path, capsys):
+        sweep = SweepSpec(base=self._spec(), name="grid", axes=(("users", (4, 6)),))
+        path = tmp_path / "sweep.toml"
+        dump_sweep(sweep, path)
+        assert main(["sweep", "--spec", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"] == "grid"
+        assert [record["users"] for record in payload["records"]] == [4, 6]
+
+    def test_sweep_requires_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_run_given_sweep_file_errors(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        dump_sweep(SweepSpec(base=self._spec()), path)
+        assert main(["run", "--spec", str(path)]) == 2
+        assert "use 'repro-auction sweep'" in capsys.readouterr().err
+
+    def test_malformed_spec_error_message(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"users": "many"}')
+        assert main(["run", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "users: expected an integer" in err
