@@ -1,0 +1,69 @@
+"""Sweep executor — sequential vs parallel wall-clock, and the artifact export.
+
+The parallel executor's contract is *correctness first*: records are
+bit-identical to a sequential run on every deterministic field (locked in
+``tests/scenarios/test_sweep_parallel.py``), so this benchmark only tracks
+the wall-clock cost of the two dispatch modes on one grid.  On multi-core
+hardware the pool amortises across chunks; on a single core it measures the
+pool's overhead, which must stay small.
+
+The export test writes ``BENCH_sweep.json`` — the uniform sweep artifact
+(the same shape as ``repro-auction sweep --json`` and as a rehydrated
+results journal) that downstream tooling consumes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import export_sweep_artifact
+from repro.scenarios import ResultsStore, SweepSpec, run_sweep, spec_from_dict
+
+
+def _bench_sweep() -> SweepSpec:
+    base = spec_from_dict(
+        {
+            "name": "bench-sweep",
+            "mechanism": "double",
+            "users": 40,
+            "providers": 8,
+            "latency": "wan",
+            "measure_compute": True,
+        }
+    )
+    return SweepSpec(
+        base=base,
+        name="bench-sweep",
+        axes=(("users", (20, 30, 40)), ("config.k", (1, 2))),
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_sweep_executor(benchmark, workers):
+    result = benchmark.pedantic(
+        run_sweep, args=(_bench_sweep(),), kwargs={"workers": workers},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["grid_rounds"] = len(result.records)
+    assert len(result.records) == 6
+    assert not any(record.aborted for record in result.records)
+
+
+def test_bench_sweep_artifact_export(tmp_path):
+    """The harness exports one uniform artifact per sweep: BENCH_sweep.json."""
+    sweep = _bench_sweep()
+    journal = tmp_path / "bench_sweep.jsonl"
+    result = run_sweep(sweep, workers=2, store=journal)
+
+    path = export_sweep_artifact(result, "BENCH_sweep.json")
+    assert os.path.basename(path) == "BENCH_sweep.json"
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["sweep"] == "bench-sweep"
+    assert len(payload["records"]) == 6
+    # The artifact is exactly the journal's content, reassembled in grid order.
+    _manifest, completed = ResultsStore(journal).read()
+    assert len(completed) == 6
+    assert payload["records"] == [record.to_dict() for record in result.records]

@@ -50,8 +50,26 @@ __all__ = [
     "Figure4Experiment",
     "Figure5Experiment",
     "default_latency_model",
+    "export_sweep_artifact",
     "record_to_point",
 ]
+
+
+def export_sweep_artifact(result: SweepResult, path="BENCH_sweep.json") -> str:
+    """Write a sweep's uniform artifact: the full ``SweepResult.to_dict`` payload.
+
+    This is the bench harness's durable export — the same shape as
+    ``repro-auction sweep --json`` and as a rehydrated results journal
+    (:class:`~repro.scenarios.store.ResultsStore`), so downstream tooling
+    consumes one format whichever way the sweep ran.  Returns the path
+    written.
+    """
+    import os
+
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_json(indent=2) + "\n")
+    return path
 
 
 def default_latency_model() -> LatencyModel:
@@ -121,16 +139,33 @@ class _SweepExperiment:
     figure: str
     sweep_spec: SweepSpec
 
-    def run_sweep_result(self) -> SweepResult:
-        """Run the full grid through the sweep engine (the CLI's ``--json`` path)."""
-        return run_sweep(self.sweep_spec, latency_model=self.latency_model)
+    def run_sweep_result(
+        self, *, workers: Optional[int] = None, store=None, resume: bool = False
+    ) -> SweepResult:
+        """Run the full grid through the sweep engine (the CLI's ``--json`` path).
 
-    def run(self) -> List[ExperimentPoint]:
-        """Run the full grid and return the classic figure points."""
+        ``workers``/``store``/``resume`` are forwarded to
+        :func:`~repro.scenarios.sweep.run_sweep`: an N-process pool over the
+        grid, an append-only JSONL results journal, and journal-backed resume.
+        """
+        return run_sweep(
+            self.sweep_spec,
+            latency_model=self.latency_model,
+            workers=workers,
+            store=store,
+            resume=resume,
+        )
+
+    def points_from_result(self, result: SweepResult) -> List[ExperimentPoint]:
+        """Project a sweep result onto the classic figure points."""
         return [
             record_to_point(self.figure, record, self._extra(record))
-            for record in self.run_sweep_result().records
+            for record in result.records
         ]
+
+    def run(self, **kwargs) -> List[ExperimentPoint]:
+        """Run the full grid and return the classic figure points."""
+        return self.points_from_result(self.run_sweep_result(**kwargs))
 
     def _run_point(self, overrides: Dict[str, object], instance: int) -> RunRecord:
         spec = spec_with_overrides(self.sweep_spec.base, overrides)

@@ -6,6 +6,8 @@ Five sub-commands cover the common workflows::
     repro-auction run   --spec scenario.toml --set users=200 --set config.k=2 --json
     repro-auction batch --mechanism standard --users 50 --rounds 20
     repro-auction sweep --spec sweep.json --json
+    repro-auction sweep --spec sweep.json --workers 4 --output results.jsonl
+    repro-auction sweep --spec sweep.json --workers 4 --output results.jsonl --resume
     repro-auction fig4  --users 100 200 400 --k 1 2 3
     repro-auction fig5  --users 25 50 75 --parallelism 1 2 4 --engine vectorized
 
@@ -21,7 +23,13 @@ scenario/sweep spec) and ``--set key=value`` (dotted-path overrides, e.g.
 accepts ``--json`` (machine-readable output of the uniform RunRecord schema).
 Flags like ``--users`` keep their historical spellings and are translated into
 spec overrides, so flags and spec files compose: a non-default flag overrides
-the spec file.  One argparse-rooted caveat: next to ``--spec``, a flag
+the spec file.  The grid commands (``sweep``/``fig4``/``fig5``) additionally
+take ``--workers N`` (run grid points in an N-process pool, chunked to keep
+the engine-state amortisation; records stay in grid order and are identical
+to a sequential run on all deterministic fields), ``--output FILE`` (append
+every record to a JSONL results journal as it completes) and ``--resume``
+(skip rounds the journal already holds — re-running an interrupted sweep
+executes only the missing grid points).  One argparse-rooted caveat: next to ``--spec``, a flag
 explicitly set to its default value (e.g. ``--users 50``) is indistinguishable
 from an omitted flag and is ignored — use ``--set users=50`` to force a value
 that happens to coincide with a flag default.  ``fig4``/``fig5`` take no
@@ -76,6 +84,31 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true", help="print machine-readable JSON records"
         )
 
+    def add_grid_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="run grid points in an N-process pool (chunked by configuration "
+            "so engine state stays amortised; results are identical to a "
+            "sequential run on all deterministic fields, in the same order)",
+        )
+        command.add_argument(
+            "--output",
+            metavar="FILE",
+            help="append every record to this JSONL results journal as it "
+            "completes (per round sequentially, per worker chunk under "
+            "--workers); the journal doubles as the sweep artifact and as "
+            "the checkpoint --resume continues from",
+        )
+        command.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip grid rounds already journaled in --output FILE and run "
+            "only the missing ones (the journal must belong to this sweep)",
+        )
+
     def add_scenario_flags(command: argparse.ArgumentParser, name: str) -> None:
         defaults = _FLAG_DEFAULTS[name]
         command.add_argument(
@@ -117,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--seed", type=int, default=0)
     fig4.add_argument("--series", action="store_true", help="print per-series summary")
     fig4.add_argument("--json", action="store_true", help="print machine-readable JSON records")
+    add_grid_options(fig4)
 
     fig5 = sub.add_parser("fig5", help="regenerate Figure 5 (standard auction running time)")
     fig5.add_argument("--users", type=int, nargs="+", default=[25, 50, 75, 100, 125])
@@ -132,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--seed", type=int, default=0)
     fig5.add_argument("--series", action="store_true", help="print per-series summary")
     fig5.add_argument("--json", action="store_true", help="print machine-readable JSON records")
+    add_grid_options(fig5)
 
     batch = sub.add_parser(
         "batch", help="run many rounds of one scenario with amortised setup"
@@ -155,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--series", action="store_true", help="print per-series summary")
     sweep.add_argument("--json", action="store_true", help="print machine-readable JSON records")
+    add_grid_options(sweep)
 
     return parser
 
@@ -269,12 +305,41 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0 if summary.aborted_rounds == 0 else 1
 
 
+def _grid_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """The run_sweep keyword arguments of the shared --workers/--output/--resume flags."""
+    if args.resume and not args.output:
+        raise SpecError("--resume", "resuming requires --output FILE (the journal to continue)")
+    return {"workers": args.workers, "store": args.output, "resume": args.resume}
+
+
+def _report_store(result: SweepResult, args: argparse.Namespace) -> None:
+    """One stderr line about the journal, greppable by CI resume assertions."""
+    if args.output:
+        print(
+            f"store {args.output}: reused {result.resumed_rounds} journaled rounds, "
+            f"executed {result.executed_rounds} new rounds",
+            file=sys.stderr,
+        )
+
+
 def _print_sweep(result: SweepResult, args: argparse.Namespace) -> None:
+    _report_store(result, args)
     if args.json:
         print(result.to_json())
         return
     points = [record_to_point(result.name, record) for record in result.records]
     print(format_series(points) if args.series else format_points(points))
+
+
+def _command_figure(experiment, args: argparse.Namespace) -> int:
+    result = experiment.run_sweep_result(**_grid_kwargs(args))
+    _report_store(result, args)
+    if args.json:
+        print(result.to_json())
+        return 0
+    points = experiment.points_from_result(result)
+    print(format_series(points) if args.series else format_points(points))
+    return 0
 
 
 def _command_fig4(args: argparse.Namespace) -> int:
@@ -284,12 +349,7 @@ def _command_fig4(args: argparse.Namespace) -> int:
         n_values=args.users,
         seed=args.seed,
     )
-    if args.json:
-        print(experiment.run_sweep_result().to_json())
-        return 0
-    points = experiment.run()
-    print(format_series(points) if args.series else format_points(points))
-    return 0
+    return _command_figure(experiment, args)
 
 
 def _command_fig5(args: argparse.Namespace) -> int:
@@ -301,12 +361,7 @@ def _command_fig5(args: argparse.Namespace) -> int:
         engine=args.engine,
         seed=args.seed,
     )
-    if args.json:
-        print(experiment.run_sweep_result().to_json())
-        return 0
-    points = experiment.run()
-    print(format_series(points) if args.series else format_points(points))
-    return 0
+    return _command_figure(experiment, args)
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -314,7 +369,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if isinstance(loaded, ScenarioSpec):
         loaded = SweepSpec(base=loaded, name=loaded.name)
     loaded = loaded.with_base_overrides(parse_assignments(args.overrides))
-    result = run_sweep(loaded)
+    result = run_sweep(loaded, **_grid_kwargs(args))
     _print_sweep(result, args)
     return 0
 

@@ -55,18 +55,21 @@ from repro.scenarios.spec import (
     sweep_from_dict,
     sweep_to_dict,
 )
-from repro.scenarios.sweep import SweepResult, run_sweep
+from repro.scenarios.store import ResultsStore, sweep_fingerprint
+from repro.scenarios.sweep import ComponentCache, SweepResult, run_sweep
 
 __all__ = [
     "BIDDER_STRATEGIES",
     "BUILTIN_SWEEPS",
     "BatchResult",
     "BidderSpec",
+    "ComponentCache",
     "ComponentSpec",
     "ConfigSpec",
     "LATENCIES",
     "MECHANISMS",
     "Registry",
+    "ResultsStore",
     "RunRecord",
     "ScenarioSpec",
     "Simulation",
@@ -91,6 +94,7 @@ __all__ = [
     "spec_from_dict",
     "spec_to_dict",
     "spec_with_overrides",
+    "sweep_fingerprint",
     "sweep_from_dict",
     "sweep_to_dict",
 ]

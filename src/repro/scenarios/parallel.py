@@ -1,0 +1,160 @@
+"""Parallel sweep execution: grid points dispatched to a process pool.
+
+Grid points are grouped into chunks by their ``(mechanism, workload,
+topology)`` cache key, and each chunk runs in one worker through the same
+:class:`~repro.scenarios.sweep.ComponentCache` machinery the sequential path
+uses (:func:`~repro.scenarios.sweep.run_point_rounds`), so engine state — the
+vectorized engine's pivot pool and its solve memo — is amortised within a
+chunk exactly as the sequential sweep amortises it.  All rounds of one grid
+point always land in the same chunk.
+
+Workers rehydrate specs from ``spec_to_dict`` payloads: nothing but
+JSON-shaped data (plus the optional pickled latency-model override) crosses
+the process boundary, and every result is a plain frozen
+:class:`~repro.scenarios.runner.RunRecord`.  Results stream back in
+completion order carrying their grid index; the caller (``run_sweep``)
+reassembles deterministic grid order regardless of scheduling.  Because
+every component is a pure function of its spec (bit-identical however often
+it is rebuilt — the engine-equivalence contract), records are bit-identical
+to a sequential run on every deterministic field.
+
+The pool prefers the ``fork`` start method where available, so workers
+inherit runtime registrations (mechanism/workload kinds a calling program
+registered after import).  On spawn-only platforms, custom kinds must be
+registered at import time of a module the workers also import.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.net.latency import LatencyModel
+from repro.scenarios.runner import RunRecord
+from repro.scenarios.spec import ScenarioSpec, SpecError, spec_from_dict, spec_to_dict
+from repro.scenarios.sweep import (
+    ComponentCache,
+    _mechanism_key,
+    _topology_key,
+    _workload_key,
+    run_point_rounds,
+)
+
+__all__ = ["amortisation_key", "chunk_tasks", "execute_chunk", "execute_parallel"]
+
+#: One unit of worker work: (grid index, spec_to_dict payload, instances to run).
+ChunkTask = Tuple[int, Dict[str, Any], List[int]]
+
+
+def amortisation_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
+    """The state-sharing key of one grid point: what a worker can amortise."""
+    return (
+        _mechanism_key(spec),
+        _workload_key(spec),
+        _topology_key(spec) if spec.topology is not None else None,
+    )
+
+
+#: Target chunk count per worker.  >1 for two reasons: load balancing (points
+#: vary widely in cost across a grid) and checkpoint granularity — a chunk is
+#: the unit of result return, so it bounds how much work a crash can lose
+#: between journal appends under parallel execution.
+CHUNKS_PER_WORKER = 4
+
+
+def chunk_tasks(tasks, workers: int) -> List[List[ChunkTask]]:
+    """Group pending grid points into worker chunks.
+
+    Points sharing an amortisation key start out in one chunk, then the
+    largest chunks are split toward ``workers * CHUNKS_PER_WORKER`` total —
+    a grid with fewer distinct keys than workers (e.g. Figure 4: one
+    mechanism configuration for the whole grid) would otherwise serialise.
+    Splitting is free in correctness terms (components are bit-identical
+    however often they are rebuilt) and only trades some cache sharing for
+    parallelism, load balance and journal-checkpoint granularity.  All
+    rounds of one grid point always stay in one chunk.
+    """
+    grouped: Dict[Tuple[Any, ...], List[ChunkTask]] = {}
+    for index, spec, instances in tasks:
+        if not instances:
+            continue
+        grouped.setdefault(amortisation_key(spec), []).append(
+            (index, spec_to_dict(spec), list(instances))
+        )
+    chunks = list(grouped.values())
+    while len(chunks) < workers * CHUNKS_PER_WORKER:
+        largest = max(chunks, key=len, default=None)
+        if largest is None or len(largest) < 2:
+            break
+        chunks.remove(largest)
+        middle = (len(largest) + 1) // 2
+        chunks.append(largest[:middle])
+        chunks.append(largest[middle:])
+    return chunks
+
+
+def execute_chunk(
+    tasks: List[ChunkTask], latency_model: Optional[LatencyModel] = None
+) -> List[Tuple[int, int, RunRecord]]:
+    """Worker body: run one chunk through a fresh component cache.
+
+    The cache is closed in a ``finally`` so the worker-side pivot pool is
+    shut down even when a grid point raises mid-chunk.
+    """
+    results: List[Tuple[int, int, RunRecord]] = []
+    cache = ComponentCache()
+    try:
+        for index, payload, instances in tasks:
+            spec = spec_from_dict(payload)
+            for instance, record in run_point_rounds(cache, spec, instances, latency_model):
+                results.append((index, instance, record))
+    finally:
+        cache.close()
+    return results
+
+
+def execute_parallel(
+    tasks, workers: int, latency_model: Optional[LatencyModel] = None
+) -> Iterator[Tuple[int, int, RunRecord]]:
+    """Run pending grid rounds in a process pool, yielding records as they land.
+
+    Yields ``(grid index, instance, record)`` in *completion* order — the
+    caller owns grid-order reassembly (and journaling, which wants completion
+    order anyway).  A worker exception cancels the not-yet-started chunks and
+    re-raises in the parent; records of chunks that already completed have
+    been yielded (and journaled) by then, so a resumed run only repeats the
+    unfinished chunks.
+    """
+    if latency_model is not None:
+        try:
+            pickle.dumps(latency_model)
+        except Exception as exc:
+            raise SpecError(
+                "latency_model",
+                f"the latency-model override cannot be shipped to worker "
+                f"processes (not picklable): {exc}; run with workers=1 or "
+                f"express the model as a spec 'latency' kind",
+            ) from exc
+    chunks = chunk_tasks(tasks, workers)
+    if not chunks:
+        return
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)), mp_context=_pool_context()
+    ) as pool:
+        futures = [pool.submit(execute_chunk, chunk, latency_model) for chunk in chunks]
+        try:
+            for future in as_completed(futures):
+                yield from future.result()
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (Windows, some macOS configs)
+        return None

@@ -97,6 +97,35 @@ class RunRecord:
         }
         return data
 
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RunRecord":
+        """Rehydrate a record from its :meth:`to_dict` form (results journals).
+
+        The round trip is lossless: every field is a JSON scalar and ``json``
+        round-trips floats exactly, so ``from_dict(to_dict(r)) == r``.
+        """
+        return RunRecord(
+            name=data["name"],
+            series=data["series"],
+            runner=data["runner"],
+            mechanism=data["mechanism"],
+            engine=data["engine"],
+            users=data["users"],
+            providers=data["providers"],
+            executors=data["executors"],
+            k=data["k"],
+            parallel=data["parallel"],
+            instance=data["instance"],
+            seed=data["seed"],
+            elapsed_seconds=data["elapsed_seconds"],
+            messages=data["messages"],
+            bytes_transferred=data["bytes"],
+            aborted=data["aborted"],
+            winners=data["winners"],
+            total_paid=data["total_paid"],
+            total_received=data["total_received"],
+        )
+
 
 # ------------------------------------------------------------------- components --
 def build_mechanism(spec: ScenarioSpec) -> AllocationAlgorithm:

@@ -175,15 +175,26 @@ class Simulation:
         axes: Optional[Mapping[str, Iterable[Any]]] = None,
         points: Optional[Iterable[Mapping[str, Any]]] = None,
         name: Optional[str] = None,
+        *,
+        workers: Optional[int] = None,
+        store=None,
+        resume: bool = False,
     ) -> SweepResult:
-        """Run a grid of variations around this scenario (see :class:`SweepSpec`)."""
+        """Run a grid of variations around this scenario (see :class:`SweepSpec`).
+
+        ``workers=N`` dispatches grid points to an N-process pool (records
+        stay in grid order, identical to a sequential run on all
+        deterministic fields); ``store`` journals records to an append-only
+        JSONL file as they complete, and ``resume=True`` skips rounds that
+        journal already holds.  See :func:`repro.scenarios.sweep.run_sweep`.
+        """
         sweep_spec = SweepSpec(
             base=self.spec,
             name=name if name is not None else f"{self.spec.name}-sweep",
             points=tuple(dict(point) for point in points) if points else (),
             axes=tuple((key, tuple(values)) for key, values in (axes or {}).items()),
         )
-        return run_sweep(sweep_spec)
+        return run_sweep(sweep_spec, workers=workers, store=store, resume=resume)
 
 
 def run_file(path, overrides: Optional[Mapping[str, Any]] = None):

@@ -57,6 +57,12 @@ class SpecError(ValueError):
         self.message = message
         super().__init__(f"{path}: {message}" if path else message)
 
+    def __reduce__(self):
+        # BaseException pickling replays __init__(*self.args), which would pass
+        # the combined one-string message where (path, message) is expected —
+        # sweep workers raising SpecError across the process boundary need this.
+        return (SpecError, (self.path, self.message))
+
 
 def _freeze_params(params: Optional[Mapping[str, Any]]) -> Mapping[str, Any]:
     return dict(params) if params else {}

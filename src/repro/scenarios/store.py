@@ -1,0 +1,218 @@
+"""Persistent sweep results: an append-only JSONL journal with a manifest.
+
+One :class:`ResultsStore` file is both the sweep's durable artifact and its
+checkpoint.  The format is one JSON object per line:
+
+* line 1 — the manifest::
+
+      {"kind": "manifest", "version": 1, "sweep": "<name>",
+       "fingerprint": "<sha256 of the canonical sweep spec>",
+       "total_rounds": <grid rounds>}
+
+* every further line — one completed round::
+
+      {"kind": "record", "point": <grid index>, "instance": <round>,
+       "record": {<RunRecord.to_dict()>}}
+
+Records are appended (and flushed) as they complete — per round under
+sequential execution, per worker chunk under parallel execution — in
+*completion* order, not grid order; the ``point`` index makes reassembly
+order-independent.  A torn final line — the signature of a crash mid-append
+— is ignored on load and repaired (truncated) before the journal is
+re-opened for appending; corruption anywhere else is an error.
+
+Resume semantics: ``begin(sweep, resume=True)`` verifies the journal's
+manifest fingerprint against the sweep about to run (same name, base spec
+and grid — a changed sweep must go to a fresh path) and returns the rounds
+already journaled, which the sweep engine then skips.  Journaled records
+rehydrate bit-identically: ``json`` round-trips floats exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.scenarios.runner import RunRecord
+from repro.scenarios.spec import SpecError, SweepSpec, sweep_to_dict
+
+__all__ = ["ResultsStore", "sweep_fingerprint"]
+
+#: Key of one journaled round: (grid point index, workload instance).
+RoundKey = Tuple[int, int]
+
+
+def sweep_fingerprint(sweep: SweepSpec) -> str:
+    """A stable digest of the sweep's full canonical spec (name, base, grid)."""
+    payload = json.dumps(sweep_to_dict(sweep), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultsStore:
+    """An append-only JSONL journal of sweep records plus a run manifest."""
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        self._handle = None
+
+    # -- lifecycle -----------------------------------------------------------------
+    def begin(
+        self, sweep: SweepSpec, total_rounds: int, *, resume: bool = False
+    ) -> Dict[RoundKey, RunRecord]:
+        """Open the journal for this sweep and return the rounds it already holds.
+
+        A fresh path gets a manifest line; an existing journal requires
+        ``resume=True`` (guarding against accidentally mixing two sweeps into
+        one artifact) and a manifest matching the sweep about to run.
+        """
+        fingerprint = sweep_fingerprint(sweep)
+        completed: Dict[RoundKey, RunRecord] = {}
+        if os.path.exists(self.path):
+            if not resume:
+                raise SpecError(
+                    self.path,
+                    "results journal already exists; pass resume=True "
+                    "(CLI: --resume) to continue it, or choose a new output path",
+                )
+            _manifest, completed = self.read(expected_fingerprint=fingerprint)
+            self._repair_torn_tail()
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write(
+                {
+                    "kind": "manifest",
+                    "version": self.VERSION,
+                    "sweep": sweep.name,
+                    "fingerprint": fingerprint,
+                    "total_rounds": total_rounds,
+                }
+            )
+        return completed
+
+    def append(self, point: int, instance: int, record: RunRecord) -> None:
+        """Journal one completed round (flushed immediately)."""
+        if self._handle is None:
+            raise SpecError(self.path, "results journal is not open; call begin() first")
+        self._write(
+            {
+                "kind": "record",
+                "point": point,
+                "instance": instance,
+                "record": record.to_dict(),
+            }
+        )
+
+    def close(self) -> None:
+        """Close the journal handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------------
+    def read(
+        self, expected_fingerprint: Optional[str] = None
+    ) -> Tuple[Dict[str, Any], Dict[RoundKey, RunRecord]]:
+        """Load the journal: its manifest and the records it holds.
+
+        With ``expected_fingerprint``, the manifest must match it — the
+        resume path's guarantee that a journal is only ever continued by the
+        sweep that started it.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            raise SpecError(self.path, "results journal not found") from None
+        except OSError as exc:
+            raise SpecError(self.path, f"cannot read results journal: {exc}") from exc
+
+        entries = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    break  # torn final line: crash mid-append; the rest is intact
+                raise SpecError(
+                    self.path, f"corrupt results journal: line {number} is not valid JSON"
+                ) from None
+        if not entries or not isinstance(entries[0], dict) or entries[0].get("kind") != "manifest":
+            raise SpecError(
+                self.path, "not a results journal (first line must be the manifest)"
+            )
+        manifest = entries[0]
+        if manifest.get("version") != self.VERSION:
+            raise SpecError(
+                self.path,
+                f"unsupported results-journal version {manifest.get('version')!r} "
+                f"(this build writes version {self.VERSION})",
+            )
+        if expected_fingerprint is not None and manifest.get("fingerprint") != expected_fingerprint:
+            raise SpecError(
+                self.path,
+                "journal manifest does not match this sweep (its name, base spec "
+                "or grid changed since the journal was written); choose a new "
+                "output path for the changed sweep",
+            )
+        completed: Dict[RoundKey, RunRecord] = {}
+        for entry in entries[1:]:
+            if not isinstance(entry, dict) or entry.get("kind") != "record":
+                continue  # unknown line kinds: written by a newer build, skip
+            try:
+                key = (int(entry["point"]), int(entry["instance"]))
+                completed[key] = RunRecord.from_dict(entry["record"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SpecError(
+                    self.path, f"corrupt results journal: malformed record line ({exc})"
+                ) from exc
+        return manifest, completed
+
+    # -- plumbing ------------------------------------------------------------------
+    def _repair_torn_tail(self) -> None:
+        """Make the journal append-safe after a crash mid-append.
+
+        ``read`` *tolerates* a torn final line, but appending after one would
+        concatenate the next record onto the partial text, losing that record
+        and leaving an invalid line in the middle of the file — permanently
+        unreadable once anything follows it.  So before re-opening for
+        append: drop an unparsable final line, and newline-terminate a valid
+        final line whose trailing ``\\n`` never made it to disk.
+        """
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        lines = data.splitlines(keepends=True)
+        if not lines:
+            return
+        tail = lines[-1].strip()
+        torn = False
+        if tail:
+            try:
+                json.loads(tail.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                torn = True
+        if torn:
+            with open(self.path, "wb") as handle:
+                handle.write(b"".join(lines[:-1]))
+        elif not data.endswith(b"\n"):
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+
+    def _write(self, entry: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._handle.flush()

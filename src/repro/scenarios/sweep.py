@@ -1,38 +1,61 @@
 """Sweep execution: run every point of a :class:`SweepSpec`, amortising state.
 
-Mechanisms (and workloads) are resolved once per distinct configuration and
-shared across grid points, so the vectorized engine's pivot pool and solve
-memo survive the whole sweep — the same amortisation the hand-written figure
-experiments performed, now applied to every sweep automatically.  Mechanisms
-the sweep itself created are closed when the sweep finishes.
+Mechanisms, workloads, topologies and latency models are resolved once per
+distinct configuration (:class:`ComponentCache`) and shared across grid
+points, so the vectorized engine's pivot pool and solve memo survive the
+whole sweep — the same amortisation the hand-written figure experiments
+performed, now applied to every sweep automatically.  Components the sweep
+itself created are closed when the sweep finishes, even when a grid point
+raises.
+
+:func:`run_sweep` additionally supports
+
+* **parallel execution** (``workers=N``): grid points are dispatched to a
+  process pool in amortisation-preserving chunks
+  (:mod:`repro.scenarios.parallel`); records come back in deterministic grid
+  order regardless of completion order, bit-identical to a sequential run on
+  every deterministic :class:`RunRecord` field;
+* **a persistent results store** (``store=path``): every record is journaled
+  as it completes (:class:`repro.scenarios.store.ResultsStore`) and
+  ``resume=True`` skips grid rounds the journal already holds.
 """
 
 from __future__ import annotations
 
 import json
+import numbers
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.net.latency import LatencyModel
 from repro.scenarios.runner import (
     RunRecord,
+    build_latency_model,
     build_mechanism,
     build_topology,
     build_workload,
     run_scenario,
 )
-from repro.scenarios.spec import ScenarioSpec, SweepSpec, spec_to_dict
+from repro.scenarios.spec import ScenarioSpec, SpecError, SweepSpec, spec_to_dict
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = ["ComponentCache", "SweepResult", "run_sweep"]
 
 
 @dataclass
 class SweepResult:
-    """All records of one sweep, in grid order, with JSON export."""
+    """All records of one sweep, in grid order, with JSON export.
+
+    ``executed_rounds`` counts the rounds this invocation actually ran;
+    ``resumed_rounds`` counts the rounds served from a results journal
+    (``run_sweep(..., store=..., resume=True)``).  For a store-less sweep
+    ``executed_rounds == len(records)`` and ``resumed_rounds == 0``.
+    """
 
     name: str
     base: Dict[str, Any]
     records: List[RunRecord] = field(default_factory=list)
+    executed_rounds: int = 0
+    resumed_rounds: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -52,60 +75,264 @@ class SweepResult:
         return groups
 
 
+class ComponentCache:
+    """Memoised spec-to-component resolution shared across grid points.
+
+    One instance backs one executor — the sequential sweep loop, a parallel
+    worker's chunk, or any caller that runs many related scenarios.  Each
+    component family is built once per distinct canonical configuration key
+    and shared by every round that hashes to it, so the vectorized engine's
+    pivot pool and solve memo are amortised across the whole grid.  Sharing
+    is bit-exact: workloads and latency models are pure functions of their
+    construction parameters (every ``generate``/``delay`` call derives its
+    randomness from explicit seeds), and mechanism caches only memoise pure
+    solves.
+
+    :meth:`close` shuts down every mechanism the cache created (idempotent);
+    always call it — or use the cache as a context manager — so worker-side
+    pivot pools do not outlive the sweep, even when a grid point raises.
+    """
+
+    def __init__(self) -> None:
+        self._mechanisms: Dict[Tuple[Any, ...], Any] = {}
+        self._workloads: Dict[Tuple[Any, ...], Any] = {}
+        self._topologies: Dict[Tuple[Any, ...], Any] = {}
+        self._latencies: Dict[Tuple[Any, ...], Any] = {}
+
+    def mechanism(self, spec: ScenarioSpec):
+        return _cached(self._mechanisms, _mechanism_key(spec), build_mechanism, spec)
+
+    def workload(self, spec: ScenarioSpec):
+        return _cached(self._workloads, _workload_key(spec), build_workload, spec)
+
+    def topology(self, spec: ScenarioSpec):
+        if spec.topology is None:
+            return None
+        return _cached(self._topologies, _topology_key(spec), build_topology, spec)
+
+    def latency(self, spec: ScenarioSpec, topology=None) -> LatencyModel:
+        key = _latency_key(spec)
+        if key not in self._latencies:
+            self._latencies[key] = build_latency_model(spec, topology)
+        return self._latencies[key]
+
+    def close(self) -> None:
+        """Release engine resources held by cached mechanisms (idempotent)."""
+        mechanisms = list(self._mechanisms.values())
+        self._mechanisms.clear()
+        for mechanism in mechanisms:
+            close = getattr(mechanism, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ComponentCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def run_sweep(
     sweep: SweepSpec,
     *,
     latency_model: Optional[LatencyModel] = None,
+    workers: Optional[int] = None,
+    store=None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Run every grid point of the sweep and collect the records.
+    """Run every grid point of the sweep and collect the records in grid order.
 
     Args:
         sweep: the sweep specification.
         latency_model: optional pre-built model overriding every point's
             ``latency`` reference (used by the figure experiments to honour a
             caller-supplied model object that has no spec representation).
+            Raises :class:`SpecError` when the sweep itself varies ``latency``
+            — the override would silently swallow that axis.
+        workers: run grid points in a pool of this many worker processes
+            (``None``/``1`` = sequential, in-process).  Chunking preserves
+            the per-configuration state amortisation; records are identical
+            to a sequential run on all deterministic fields and come back in
+            the same grid order.
+        store: a results journal — a path (``str``/``PathLike``) or a
+            :class:`~repro.scenarios.store.ResultsStore` — appended to as
+            records complete.  The journal doubles as the sweep's artifact
+            and as a checkpoint for ``resume``.
+        resume: with ``store``, skip grid rounds the journal already holds
+            (the journal's manifest must match this sweep) and re-run only
+            the missing ones.  Journaled records are returned bit-identically.
     """
+    if workers is not None and workers < 1:
+        raise SpecError("workers", f"workers must be a positive integer, got {workers}")
+    if latency_model is not None:
+        conflict = _latency_override_conflict(sweep)
+        if conflict is not None:
+            raise SpecError(
+                conflict,
+                "this sweep varies the latency model, but the caller-supplied "
+                "latency_model override applies to every grid point and would "
+                "silently ignore the variation; drop the override or the "
+                "latency override in the sweep grid",
+            )
     scenarios = sweep.scenarios()
-    result = SweepResult(name=sweep.name, base=spec_to_dict(sweep.base))
 
-    mechanisms: Dict[Tuple[Any, ...], Any] = {}
-    workloads: Dict[Tuple[Any, ...], Any] = {}
-    topologies: Dict[Tuple[Any, ...], Any] = {}
+    journal = _as_store(store)
+    completed: Dict[Tuple[int, int], RunRecord] = {}
+    if journal is not None:
+        completed = journal.begin(
+            sweep, total_rounds=sum(spec.rounds for spec in scenarios), resume=resume
+        )
+
+    tasks = [
+        (
+            index,
+            spec,
+            [i for i in range(spec.rounds) if (index, i) not in completed],
+        )
+        for index, spec in enumerate(scenarios)
+    ]
+    fresh: Dict[Tuple[int, int], RunRecord] = {}
     try:
-        for spec in scenarios:
-            mechanism = _cached(mechanisms, _mechanism_key(spec), build_mechanism, spec)
-            workload = _cached(workloads, _workload_key(spec), build_workload, spec)
-            topology = None
-            if spec.topology is not None:
-                topology = _cached(topologies, _topology_key(spec), build_topology, spec)
-            for instance in range(spec.rounds):
-                result.records.append(
-                    run_scenario(
-                        spec,
-                        instance,
-                        mechanism=mechanism,
-                        workload=workload,
-                        latency_model=latency_model,
-                        topology=topology,
-                    )
-                )
+        if workers is not None and workers > 1 and any(t[2] for t in tasks):
+            from repro.scenarios.parallel import execute_parallel
+
+            stream = execute_parallel(tasks, workers, latency_model)
+        else:
+            stream = _execute_serial(tasks, latency_model)
+        try:
+            for index, instance, record in stream:
+                fresh[(index, instance)] = record
+                if journal is not None:
+                    journal.append(index, instance, record)
+        finally:
+            stream.close()
     finally:
-        for mechanism in mechanisms.values():
-            close = getattr(mechanism, "close", None)
-            if close is not None:
-                close()
+        if journal is not None:
+            journal.close()
+
+    result = SweepResult(
+        name=sweep.name,
+        base=spec_to_dict(sweep.base),
+        executed_rounds=len(fresh),
+        resumed_rounds=len(completed),
+    )
+    for index, spec in enumerate(scenarios):
+        for instance in range(spec.rounds):
+            record = fresh.get((index, instance))
+            if record is None:
+                record = completed[(index, instance)]
+            result.records.append(record)
     return result
 
 
+# ------------------------------------------------------------------- execution --
+def run_point_rounds(
+    cache: ComponentCache,
+    spec: ScenarioSpec,
+    instances,
+    latency_model: Optional[LatencyModel] = None,
+) -> Iterator[Tuple[int, RunRecord]]:
+    """Run the given workload instances of one grid point through the cache.
+
+    Shared by the sequential sweep loop and the parallel workers
+    (:func:`repro.scenarios.parallel.execute_chunk`), so the two paths cannot
+    drift apart on how components are resolved and amortised.
+    """
+    instances = list(instances)
+    if not instances:
+        return
+    mechanism = cache.mechanism(spec)
+    workload = cache.workload(spec)
+    topology = cache.topology(spec)
+    model = latency_model
+    if model is None and spec.runner != "centralized":
+        # The centralised baseline never consumes latency; keep it unbuilt so
+        # the cached path stays semantically identical to bare run_scenario.
+        model = cache.latency(spec, topology)
+    for instance in instances:
+        yield instance, run_scenario(
+            spec,
+            instance,
+            mechanism=mechanism,
+            workload=workload,
+            latency_model=model,
+            topology=topology,
+        )
+
+
+def _execute_serial(tasks, latency_model) -> Iterator[Tuple[int, int, RunRecord]]:
+    cache = ComponentCache()
+    try:
+        for index, spec, instances in tasks:
+            for instance, record in run_point_rounds(cache, spec, instances, latency_model):
+                yield index, instance, record
+    finally:
+        cache.close()
+
+
+def _as_store(store):
+    if store is None:
+        return None
+    from repro.scenarios.store import ResultsStore
+
+    if isinstance(store, ResultsStore):
+        return store
+    return ResultsStore(store)
+
+
+def _latency_override_conflict(sweep: SweepSpec) -> Optional[str]:
+    """The spec path of a latency variation in the grid, or ``None``."""
+    for i, point in enumerate(sweep.points):
+        for key in point:
+            if key == "latency" or key.startswith("latency."):
+                return f"points[{i}].{key}"
+    for key, _values in sweep.axes:
+        if key == "latency" or key.startswith("latency."):
+            return f"axes.{key}"
+    return None
+
+
+# ----------------------------------------------------------------- cache keys --
 def _cached(cache: Dict, key, builder, spec: ScenarioSpec):
     if key not in cache:
         cache[key] = builder(spec)
     return cache[key]
 
 
+def _canonical(value: Any) -> Tuple[Any, ...]:
+    """A hashable, order-insensitive canonical form of a spec parameter value.
+
+    Mappings are sorted by key at every nesting level, so semantically equal
+    params that differ only in dict insertion order produce the same key.
+    Scalars — mapping keys included — are tagged with their type: conflating
+    ``1``/``1.0``/``True`` (or the keys ``2``/``"2"``) could alias two
+    configurations that build different components, whereas distinguishing
+    them merely costs a cache miss.
+    """
+    if isinstance(value, Mapping):
+        # Mapping keys are hashable scalars, so their canonical forms are
+        # mutually comparable tuples — sortable without stringification.
+        return (
+            "map",
+            tuple(sorted((_canonical(k), _canonical(v)) for k, v in value.items())),
+        )
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_canonical(item) for item in value))
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, numbers.Integral):
+        return ("int", int(value))
+    if isinstance(value, numbers.Real):
+        return ("float", float(value))
+    if isinstance(value, str):
+        return ("str", value)
+    if value is None:
+        return ("none",)
+    return ("repr", type(value).__name__, repr(value))
+
+
 def _component_key(component) -> Tuple[Any, ...]:
-    # repr keeps the key hashable even when parameters hold lists.
-    return (component.kind, repr(sorted(component.params.items())))
+    return (component.kind, _canonical(component.params))
 
 
 def _mechanism_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
@@ -118,3 +345,11 @@ def _workload_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
 
 def _topology_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
     return (_component_key(spec.topology), spec.seed, spec.providers, spec.users)
+
+
+def _latency_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
+    key = _component_key(spec.latency)
+    if spec.latency.kind == "community":
+        # The model is derived from the generated topology: key it like one.
+        return key + _topology_key(spec)
+    return key
