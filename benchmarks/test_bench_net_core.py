@@ -1,0 +1,111 @@
+"""Simulator-core throughput — the net layer's messages/sec trajectory.
+
+The event-queue rewrite made every delivered message O(log M) instead of O(M)
+(deliverable rebuild + ``min`` scan + ``list.remove`` in the seed core), with
+schedules locked bit-identical by ``tests/net/test_event_queue_differential.py``
+— so this benchmark only tracks wall-clock throughput of the standard workload:
+one distributed double-auction round, 40 users / 8 providers, ``wan`` latency.
+
+The export test writes ``BENCH_net.json`` — the simulator-layer counterpart of
+``BENCH_sweep.json``, carrying messages/sec and steps/sec next to the frozen
+pre-event-queue baseline so the speedup stays visible in the artifact.  CI runs
+this file in quick mode (``--benchmark-disable``) and greps the summary line.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.auctions.double_auction import DoubleAuction
+from repro.bench.harness import (
+    default_latency_model,
+    export_net_artifact,
+    run_net_benchmark,
+)
+from repro.community.workload import DoubleAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.runtime.auction_run import AuctionRun
+
+NUM_USERS = 40
+NUM_PROVIDERS = 8
+
+
+def _execute_round():
+    run = AuctionRun(
+        DoubleAuctionWorkload(seed=0).generate(NUM_USERS, NUM_PROVIDERS),
+        DoubleAuction(),
+        config=FrameworkConfig(k=2),
+        latency_model=default_latency_model(),
+        seed=0,
+    )
+    return run.execute()
+
+
+def test_bench_net_core_distributed_double_auction(benchmark):
+    result = benchmark.pedantic(_execute_round, rounds=3, iterations=1)
+    stats = result.stats
+    benchmark.extra_info["messages_delivered"] = stats.messages_delivered
+    benchmark.extra_info["model_seconds"] = stats.elapsed_time
+    assert not result.aborted
+    assert stats.messages_delivered > 500  # the workload floods real traffic
+
+
+def _measure_seed_core(repeats: int = 2):
+    """Time the same round on the seed list-based core (differential oracle).
+
+    ``AuctionRun`` resolves ``SimNetwork`` through its module global, so the
+    faithful seed port from the differential test can stand in for it — giving
+    a *same-host* baseline next to the frozen reference-host one, so the
+    speedup in the artifact is meaningful wherever it is regenerated.
+    """
+    import time
+
+    import repro.runtime.auction_run as auction_run_module
+    from tests.net.seed_reference import SeedSimNetwork
+
+    original = auction_run_module.SimNetwork
+    auction_run_module.SimNetwork = SeedSimNetwork
+    best = float("inf")
+    try:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = _execute_round()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        auction_run_module.SimNetwork = original
+    return result.stats.messages_delivered, best
+
+
+def test_bench_net_artifact_export():
+    """One uniform artifact per net bench: BENCH_net.json with the summary line."""
+    payload = run_net_benchmark(
+        num_users=NUM_USERS, num_providers=NUM_PROVIDERS, repeats=2
+    )
+    seed_messages, seed_wall = _measure_seed_core()
+    assert seed_messages == payload["messages_delivered"]  # same schedule
+    seed_rate = seed_messages / seed_wall
+    payload["baseline_seed_core_same_host"] = {
+        "messages_per_sec": seed_rate,
+        "wall_seconds": seed_wall,
+        "core": "seed list-based oracle (tests/net/seed_reference.py)",
+    }
+    speedup = payload["messages_per_sec"] / seed_rate
+    payload["speedup_same_host"] = speedup
+    payload["summary"] = (
+        f"BENCH_net: {payload['messages_per_sec']:,.0f} messages/sec "
+        f"({speedup:.1f}x the seed core on this host) on the distributed "
+        f"double auction, {NUM_USERS} users / {NUM_PROVIDERS} providers, "
+        f"wan latency"
+    )
+    path = export_net_artifact(payload, "BENCH_net.json")
+    assert os.path.basename(path) == "BENCH_net.json"
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = json.load(handle)
+    assert stored["bench"] == "net-core"
+    assert stored["messages_delivered"] == stored["steps"] > 500
+    assert stored["messages_per_sec"] > 0
+    assert "messages/sec" in stored["summary"]
+    # The artifact keeps both perf origins visible next to the measurement.
+    assert stored["baseline_pre_event_queue"]["messages_per_sec"] > 0
+    assert stored["baseline_seed_core_same_host"]["messages_per_sec"] > 0

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Dict, Iterator, List
 
 from repro.net.message import Message
 
@@ -52,7 +52,10 @@ class ReliableChannel(Channel):
 
     sender: str
     recipient: str
-    _in_flight: List[Message] = field(default_factory=list)
+    # Keyed by msg_id (insertion-ordered, so FIFO semantics are preserved):
+    # the simulator pops one message per delivery, and a linear scan here was
+    # O(queue) with a full dataclass comparison per probe.
+    _in_flight: Dict[int, Message] = field(default_factory=dict)
     delivered_count: int = 0
     delivered_bytes: int = 0
 
@@ -62,21 +65,23 @@ class ReliableChannel(Channel):
                 f"message {message!r} does not belong to channel "
                 f"{self.sender}->{self.recipient}"
             )
-        self._in_flight.append(message)
+        self._in_flight[message.msg_id] = message
 
     def pop(self, msg_id: int) -> Message:
-        for index, message in enumerate(self._in_flight):
-            if message.msg_id == msg_id:
-                self.delivered_count += 1
-                self.delivered_bytes += message.size_bytes
-                return self._in_flight.pop(index)
-        raise KeyError(f"message id {msg_id} not in flight on {self.sender}->{self.recipient}")
+        message = self._in_flight.pop(msg_id, None)
+        if message is None:
+            raise KeyError(
+                f"message id {msg_id} not in flight on {self.sender}->{self.recipient}"
+            )
+        self.delivered_count += 1
+        self.delivered_bytes += message.size_bytes
+        return message
 
     def pending(self) -> List[Message]:
-        return list(self._in_flight)
+        return list(self._in_flight.values())
 
     def earliest_undelivered(self) -> Message | None:
         """The in-flight message with the smallest send time (FIFO head), if any."""
         if not self._in_flight:
             return None
-        return min(self._in_flight, key=lambda m: (m.send_time, m.msg_id))
+        return min(self._in_flight.values(), key=lambda m: (m.send_time, m.msg_id))

@@ -5,20 +5,34 @@ virtual time at which it was sent and the arrival time assigned by the latency m
 The ``tag`` field is a routing string used by layered protocols (for instance
 ``"ba/consensus/u3/bit07/echo"``) so that a single node can multiplex many concurrent
 protocol blocks over one channel.
+
+Distributed runs create hundreds of thousands of messages, so the dataclass is
+``slots=True``: no per-instance ``__dict__``, faster field access on the
+simulator's hot path, roughly half the memory per instance.
+
+Message ids
+-----------
+
+``msg_id`` is the deterministic tie-breaker of every scheduler.  A network
+allocates ids from its own counter (see ``SimNetwork``), so the ids — and with
+them tie-breaks, schedules and delivery traces — do not depend on how many
+other networks ran earlier in the process.  Messages created outside a network
+(unit tests, hand-driven channels) fall back to a process-global counter, which
+keeps ids unique and monotone per process.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
 
 from repro.net.serialization import estimate_size
 
 _MESSAGE_COUNTER = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A single message in transit between two nodes.
 
@@ -31,8 +45,9 @@ class Message:
         arrival_time: virtual time at which the message becomes deliverable.
         size_bytes: estimated wire size, used by bandwidth-aware latency models
             and by the benchmark harness to report traffic volume.
-        msg_id: globally unique, monotonically increasing identifier; used for
-            deterministic tie-breaking in schedulers.
+        msg_id: unique, monotonically increasing identifier — per network when
+            allocated by one, process-global otherwise; used for deterministic
+            tie-breaking in schedulers.
     """
 
     sender: str
@@ -52,8 +67,15 @@ class Message:
         tag: str = "",
         send_time: float = 0.0,
         arrival_time: float = 0.0,
+        msg_id: Optional[int] = None,
     ) -> "Message":
-        """Build a message, estimating its wire size from the payload."""
+        """Build a message, estimating its wire size from the payload.
+
+        ``msg_id=None`` (the default) draws from the process-global counter;
+        networks pass their own per-network ids explicitly.
+        """
+        if msg_id is None:
+            msg_id = next(_MESSAGE_COUNTER)
         return Message(
             sender=sender,
             recipient=recipient,
@@ -62,11 +84,21 @@ class Message:
             send_time=send_time,
             arrival_time=arrival_time,
             size_bytes=estimate_size((tag, payload)),
+            msg_id=msg_id,
         )
 
     def is_timer(self) -> bool:
         """True if this is a self-addressed timer event (see NodeContext.set_timer)."""
         return self.sender == self.recipient and self.tag.startswith("__timer__")
+
+    # Frozen slots dataclasses only pickle out of the box from Python 3.11 on;
+    # spell the state protocol out so 3.10 round-trips too.
+    def __getstate__(self):
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    def __setstate__(self, state) -> None:
+        for f, value in zip(fields(self), state):
+            object.__setattr__(self, f.name, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

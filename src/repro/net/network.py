@@ -6,6 +6,22 @@ arbitrary) schedules, and per-node virtual clocks.  The simulator is determinist
 given (nodes, seed, scheduler, latency model, and — if enabled — measured compute
 time), which makes protocol behaviour reproducible in tests.
 
+The event-queue core
+--------------------
+
+Delivery runs through the scheduler's queue protocol
+(:meth:`~repro.net.scheduler.Scheduler.push` /
+:meth:`~repro.net.scheduler.Scheduler.pop` /
+:meth:`~repro.net.scheduler.Scheduler.retire_recipient`): every delivered
+message costs O(log M) in the number of in-flight messages, where the seed core
+paid O(M) three times over (deliverable-list rebuild, ``min`` scan, ``list.remove``).
+The network keeps the authoritative in-flight set as an insertion-ordered dict;
+traffic addressed to finished recipients stays in it (lazily skipped by the
+queues) until quiescence, at which point it is drained and counted as dropped —
+exactly the seed semantics, including the final :class:`NetworkStats`.
+Schedules are bit-identical to the seed implementation; the differential test
+``tests/net/test_event_queue_differential.py`` locks the full delivery trace.
+
 Time accounting
 ---------------
 
@@ -23,7 +39,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.common import stable_hash
 from repro.net.channel import ReliableChannel
@@ -31,7 +47,8 @@ from repro.net.clock import VirtualClock
 from repro.net.latency import LatencyModel, ZeroLatencyModel
 from repro.net.message import Message
 from repro.net.node import Node, NodeContext
-from repro.net.scheduler import FairScheduler, Scheduler
+from repro.net.scheduler import FairScheduler, LegacySchedulerAdapter, Scheduler
+from repro.net.serialization import estimate_size
 
 __all__ = ["SimNetwork", "NetworkStats", "QuiescenceError"]
 
@@ -63,7 +80,13 @@ class NetworkStats:
 
 
 class _SimContext(NodeContext):
-    """NodeContext bound to one node of a :class:`SimNetwork`."""
+    """NodeContext bound to one node of a :class:`SimNetwork`.
+
+    One context is cached per node for the lifetime of the network (contexts are
+    stateless views, and allocating one per delivery showed up in profiles).
+    """
+
+    __slots__ = ("_network", "_node_id")
 
     def __init__(self, network: "SimNetwork", node_id: str) -> None:
         self._network = network
@@ -87,6 +110,19 @@ class _SimContext(NodeContext):
     def send(self, recipient: str, payload: Any, tag: str = "") -> None:
         self._network._enqueue(self._node_id, recipient, payload, tag)
 
+    def broadcast(
+        self,
+        recipients,
+        payload: Any,
+        tag: str = "",
+        include_self: bool = False,
+    ) -> None:
+        # Same observable behaviour as the default per-recipient send loop, but
+        # the payload's wire size is measured once for the whole fan-out — the
+        # object cannot be mutated between the sends, so the per-send estimates
+        # were always identical.
+        self._network._enqueue_many(self._node_id, recipients, payload, tag, include_self)
+
     def set_timer(self, delay: float, tag: str) -> None:
         if delay < 0:
             raise ValueError("timer delay must be non-negative")
@@ -102,6 +138,8 @@ class SimNetwork:
     Args:
         latency_model: one-way delay model; defaults to zero latency.
         scheduler: delivery-order strategy; defaults to earliest-arrival-first.
+            Objects that only duck-type the legacy ``select``/``reset`` protocol
+            are wrapped in :class:`~repro.net.scheduler.LegacySchedulerAdapter`.
         seed: seed for the network-level RNG (latency jitter, random scheduler) and
             for deriving per-node RNGs.
         measure_compute: if True, the wall-clock duration of every handler invocation
@@ -119,15 +157,29 @@ class SimNetwork:
         compute_scale: float = 1.0,
     ) -> None:
         self.latency_model = latency_model if latency_model is not None else ZeroLatencyModel()
-        self.scheduler = scheduler if scheduler is not None else FairScheduler()
+        if scheduler is None:
+            scheduler = FairScheduler()
+        elif not hasattr(scheduler, "pop"):
+            scheduler = LegacySchedulerAdapter(scheduler)
+        self.scheduler = scheduler
         self.measure_compute = measure_compute
         self._rng = random.Random(seed)
         self._seed = seed
         self._nodes: Dict[str, Node] = {}
         self._clocks: Dict[str, VirtualClock] = {}
         self._node_rngs: Dict[str, random.Random] = {}
+        self._contexts: Dict[str, _SimContext] = {}
         self._channels: Dict[tuple, ReliableChannel] = {}
-        self._in_flight: List[Message] = []
+        # Authoritative in-flight set, keyed by msg_id and insertion-ordered —
+        # the scheduler queues hold the *delivery order*, this dict holds the
+        # *membership* (and the drain order at quiescence).
+        self._in_flight: Dict[int, Message] = {}
+        # msg_ids are allocated per network so schedules never depend on how
+        # many networks ran earlier in the process.
+        self._next_msg_id = 0
+        # Finished nodes are tracked incrementally (and retired from the
+        # scheduler queues) instead of scanning every node per run() iteration.
+        self._finished_nodes: Set[str] = set()
         self._compute_scale = compute_scale
         self.stats = NetworkStats()
         self._started = False
@@ -144,6 +196,7 @@ class SimNetwork:
         self._node_rngs[node.node_id] = random.Random(
             stable_hash(self._seed, node.node_id)
         )
+        self._contexts[node.node_id] = _SimContext(self, node.node_id)
 
     def add_nodes(self, nodes: Sequence[Node]) -> None:
         for node in nodes:
@@ -173,26 +226,34 @@ class SimNetwork:
         return channel
 
     def _enqueue(self, sender: str, recipient: str, payload: Any, tag: str) -> None:
+        self._enqueue_sized(sender, recipient, payload, tag, estimate_size((tag, payload)))
+
+    def _enqueue_many(
+        self, sender: str, recipients, payload: Any, tag: str, include_self: bool
+    ) -> None:
+        size = None
+        for recipient in recipients:
+            if recipient == sender and not include_self:
+                continue
+            if size is None:
+                size = estimate_size((tag, payload))
+            self._enqueue_sized(sender, recipient, payload, tag, size)
+
+    def _enqueue_sized(
+        self, sender: str, recipient: str, payload: Any, tag: str, size: int
+    ) -> None:
         if recipient not in self._nodes:
             raise KeyError(f"unknown recipient {recipient!r}")
         send_time = self._clocks[sender].now
-        delay = self.latency_model.delay(
-            sender, recipient, 0, self._rng
-        ) if sender != recipient else self.latency_model.local_delay()
-        message = Message.create(
-            sender=sender,
-            recipient=recipient,
-            payload=payload,
-            tag=tag,
-            send_time=send_time,
-            arrival_time=send_time,
-        )
-        # Recompute delay with the true size for bandwidth-aware models.
-        delay = (
-            self.latency_model.delay(sender, recipient, message.size_bytes, self._rng)
-            if sender != recipient
-            else self.latency_model.local_delay()
-        )
+        if sender != recipient:
+            # Historical draw order: the seed core asked the latency model
+            # twice (a size-0 probe, then the real call).  The probe's value
+            # was always discarded, but jittered models consume RNG in it —
+            # keep the call so every schedule stays bit-identical to the seed.
+            self.latency_model.delay(sender, recipient, 0, self._rng)
+            delay = self.latency_model.delay(sender, recipient, size, self._rng)
+        else:
+            delay = self.latency_model.local_delay()
         message = Message(
             sender=sender,
             recipient=recipient,
@@ -200,22 +261,16 @@ class SimNetwork:
             tag=tag,
             send_time=send_time,
             arrival_time=send_time + delay,
-            size_bytes=message.size_bytes,
-            msg_id=message.msg_id,
+            size_bytes=size,
+            msg_id=self._next_msg_id,
         )
+        self._next_msg_id += 1
         self._channel(sender, recipient).push(message)
-        self._in_flight.append(message)
+        self._in_flight[message.msg_id] = message
+        self.scheduler.push(message)
 
     def _enqueue_timer(self, node_id: str, delay: float, tag: str) -> None:
         now = self._clocks[node_id].now
-        message = Message.create(
-            sender=node_id,
-            recipient=node_id,
-            payload=None,
-            tag=f"__timer__/{tag}",
-            send_time=now,
-            arrival_time=now + delay,
-        )
         message = Message(
             sender=node_id,
             recipient=node_id,
@@ -224,10 +279,12 @@ class SimNetwork:
             send_time=now,
             arrival_time=now + delay,
             size_bytes=0,
-            msg_id=message.msg_id,
+            msg_id=self._next_msg_id,
         )
+        self._next_msg_id += 1
         self._channel(node_id, node_id).push(message)
-        self._in_flight.append(message)
+        self._in_flight[message.msg_id] = message
+        self.scheduler.push(message)
 
     # -- execution -------------------------------------------------------------
     def _dispatch(self, node: Node, handler, *args) -> None:
@@ -239,47 +296,64 @@ class SimNetwork:
         else:
             handler(*args)
 
-    def _deliver(self, message: Message) -> None:
-        self._in_flight.remove(message)
-        self._channel(message.sender, message.recipient).pop(message.msg_id)
-        node = self._nodes[message.recipient]
-        if node.finished:
-            self.stats.messages_dropped += 1
+    def _note_finished(self, node_id: str) -> None:
+        """Record a node's termination once: finish time, count, retirement."""
+        if node_id in self._finished_nodes:
             return
+        self._finished_nodes.add(node_id)
+        self.stats.node_finish_time[node_id] = self._clocks[node_id].now
+        self.scheduler.retire_recipient(node_id)
+
+    def _deliver(self, message: Message, node: Node) -> None:
+        del self._in_flight[message.msg_id]
+        self._channel(message.sender, message.recipient).pop(message.msg_id)
         clock = self._clocks[message.recipient]
         clock.advance_to(message.arrival_time)
-        ctx = _SimContext(self, message.recipient)
-        self._dispatch(node, node.on_message, ctx, message)
+        self._dispatch(node, node.on_message, self._contexts[message.recipient], message)
         self.stats.record_delivery(message)
         if node.finished:
-            self.stats.node_finish_time[node.node_id] = clock.now
+            self._note_finished(node.node_id)
 
     def start(self) -> None:
         """Invoke ``on_start`` on every node (in registration order)."""
         if self._started:
             raise RuntimeError("network already started")
         self._started = True
-        self.scheduler.reset()
+        self.scheduler.begin_run()
         for node_id, node in self._nodes.items():
-            ctx = _SimContext(self, node_id)
-            self._dispatch(node, node.on_start, ctx)
+            self._dispatch(node, node.on_start, self._contexts[node_id])
             if node.finished:
-                self.stats.node_finish_time[node_id] = self._clocks[node_id].now
+                self._note_finished(node_id)
 
     def step(self) -> bool:
         """Deliver one message.  Returns False if nothing is deliverable."""
-        deliverable = [
-            m for m in self._in_flight if not self._nodes[m.recipient].finished
-        ]
-        if not deliverable:
-            # Drain traffic addressed to finished nodes so quiescence is reached.
-            for message in list(self._in_flight):
-                self._in_flight.remove(message)
-                self._channel(message.sender, message.recipient).pop(message.msg_id)
-                self.stats.messages_dropped += 1
-            return False
-        message = self.scheduler.select(deliverable, self._rng)
-        self._deliver(message)
+        while True:
+            message = self.scheduler.pop(self._rng)
+            if message is None:
+                # Quiescence: everything still in flight is addressed to
+                # finished nodes — drain it so the run can end.
+                if self._in_flight:
+                    for stale in self._in_flight.values():
+                        self._channel(stale.sender, stale.recipient).pop(stale.msg_id)
+                        self.stats.messages_dropped += 1
+                    self._in_flight.clear()
+                return False
+            node = self._nodes[message.recipient]
+            if node.finished:
+                # The node was finished from *outside* a handler (finish() is
+                # public), so the queue could not have retired it yet; do so
+                # now.  The message stays in flight and is dropped at
+                # quiescence.  Note: in this exotic case the seed core stopped
+                # scheduling the node one step earlier than the lazy retire
+                # does, so stateful schedulers (random / round-robin /
+                # adversarial) may order the remaining traffic differently —
+                # the bit-identity guarantee covers nodes that finish inside
+                # their own handlers, which is the only way the runtime itself
+                # ever finishes them.
+                self._note_finished(message.recipient)
+                continue
+            break
+        self._deliver(message, node)
         self.stats.steps += 1
         return True
 
@@ -293,8 +367,9 @@ class SimNetwork:
         if not self._started:
             self.start()
         steps = 0
+        total = len(self._nodes)
         while True:
-            if all(node.finished for node in self._nodes.values()):
+            if len(self._finished_nodes) >= total:
                 break
             progressed = self.step()
             if not progressed:
@@ -313,7 +388,17 @@ class SimNetwork:
     # -- introspection -----------------------------------------------------------
     @property
     def in_flight(self) -> List[Message]:
-        return list(self._in_flight)
+        """Messages sent but not yet delivered, in send order.
+
+        Builds a fresh O(M) list on every access — fine for tests and debugging,
+        but hot paths that only need the size should use :attr:`in_flight_count`.
+        """
+        return list(self._in_flight.values())
+
+    @property
+    def in_flight_count(self) -> int:
+        """Number of undelivered messages (O(1), unlike :attr:`in_flight`)."""
+        return len(self._in_flight)
 
     def unfinished_nodes(self) -> List[str]:
         return [nid for nid, node in self._nodes.items() if not node.finished]

@@ -124,17 +124,17 @@ class BlockContext:
 
     def broadcast(self, payload: Any, subtag: str = "", include_self: bool = False) -> None:
         """Send ``payload`` to every participant of this block."""
-        for recipient in self.participants:
-            if recipient == self.node_id and not include_self:
-                continue
-            self.send(recipient, payload, subtag=subtag)
+        tag = f"{self.path}{TAG_SEPARATOR}{subtag}"
+        # Delegating to the node context lets the simulator amortise the
+        # per-message wire-size estimate over the whole fan-out.
+        self._node_ctx.broadcast(
+            self.participants, payload, tag=tag, include_self=include_self
+        )
 
     def send_to(self, recipients: Sequence[str], payload: Any, subtag: str = "") -> None:
         """Send ``payload`` to an explicit set of recipients (subset of the network)."""
-        for recipient in recipients:
-            if recipient == self.node_id:
-                continue
-            self.send(recipient, payload, subtag=subtag)
+        tag = f"{self.path}{TAG_SEPARATOR}{subtag}"
+        self._node_ctx.broadcast(recipients, payload, tag=tag)
 
     # -- composition ----------------------------------------------------------------
     def spawn(

@@ -9,6 +9,32 @@ equilibrium notion.
 
 All schedulers must be *fair*: every in-flight message is eventually selected.  The
 :class:`AdversarialScheduler` enforces this with a deferral budget per message.
+
+The queue-strategy protocol
+---------------------------
+
+A scheduler is an *indexed event queue*, not a function over a flat sequence: the
+network pushes every message exactly once (:meth:`Scheduler.push`), pops the next
+message to deliver (:meth:`Scheduler.pop`) and retires recipients as they finish
+(:meth:`Scheduler.retire_recipient`).  Messages addressed to retired recipients are
+*lazily* discarded — they stay inside the queue structures until a pop walks past
+them, which is what keeps every operation O(log M) instead of the former O(M)
+rebuild-filter-scan per delivered message.  ``pop`` returning ``None`` means no
+deliverable message remains (the network then drains and drops the rest).
+
+Every queue implementation is **bit-identical** to the historical
+``select(in_flight, rng)`` semantics: same delivered message per step, same RNG
+consumption, same tie-breaks.  The differential test
+(``tests/net/test_event_queue_differential.py``) locks the full delivery trace
+against a faithful port of the seed list-based core.
+
+Backwards compatibility: third-party schedulers that only implement ``select``
+keep working — the base class provides push/pop/retire implementations that
+replay the legacy algorithm (build the deliverable list, call ``select``,
+remove the choice).  Objects that merely duck-type the old protocol (``select``
++ ``reset`` without subclassing) are wrapped by the network in
+:class:`LegacySchedulerAdapter`.  A scheduler instance serves one network run
+at a time (sequential reuse across runs is fine; ``begin_run`` clears state).
 """
 
 from __future__ import annotations
@@ -16,7 +42,8 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.net.message import Message
 
@@ -26,18 +53,100 @@ __all__ = [
     "RoundRobinScheduler",
     "RandomScheduler",
     "AdversarialScheduler",
+    "LegacySchedulerAdapter",
 ]
 
 
-class Scheduler(abc.ABC):
-    """Strategy that picks the next in-flight message to deliver."""
+def _arrival_key(message: Message) -> Tuple[float, int]:
+    return (message.arrival_time, message.msg_id)
 
-    @abc.abstractmethod
-    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
-        """Choose one message from the non-empty ``in_flight`` sequence."""
+
+class Scheduler(abc.ABC):
+    """Queue strategy that decides the next in-flight message to deliver.
+
+    Subclasses either override the queue protocol (``push`` / ``pop`` /
+    ``retire_recipient`` / ``reset``) or just implement the legacy ``select``
+    hook, in which case the default implementations below replay the historical
+    list-based algorithm on their behalf.
+    """
+
+    # -- queue-strategy protocol ---------------------------------------------
+    def push(self, message: Message) -> None:
+        """Enqueue a freshly sent message."""
+        pending, _retired = self._legacy_state()
+        pending.append(message)
+
+    def pop(self, rng: random.Random) -> Optional[Message]:
+        """Remove and return the next deliverable message, or ``None`` if there
+        is none (every queued message is addressed to a retired recipient)."""
+        pending, retired = self._legacy_state()
+        deliverable = [m for m in pending if m.recipient not in retired]
+        if not deliverable:
+            # Whatever is left can never be delivered (retirement is permanent
+            # within a run) — forget it, mirroring the seed core's drain.
+            pending.clear()
+            return None
+        chosen = self.select(deliverable, rng)
+        pending.remove(chosen)
+        return chosen
+
+    def retire_recipient(self, node_id: str) -> None:
+        """The recipient finished: its queued messages are no longer deliverable."""
+        self._legacy_state()[1].add(node_id)
+
+    def begin_run(self) -> None:
+        """Called by the network once per run, before any message is pushed.
+
+        Clears the adapter state of legacy schedulers and then invokes the
+        subclass :meth:`reset` hook.  Not meant to be overridden.
+        """
+        state = self.__dict__.get("_select_adapter_state")
+        if state is not None:
+            state[0].clear()
+            state[1].clear()
+        self.reset()
 
     def reset(self) -> None:  # pragma: no cover - default no-op
         """Clear any internal state before a new run."""
+
+    # -- legacy API -----------------------------------------------------------
+    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
+        """Choose one message from the non-empty ``in_flight`` sequence.
+
+        Historical protocol, kept as the extension point for simple schedulers
+        (and for tests that drive a scheduler by hand over an external pool).
+        Queue-native schedulers may leave it unimplemented.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} implements the queue protocol only"
+        )
+
+    def _legacy_state(self) -> Tuple[List[Message], Set[str]]:
+        # Lazily initialised so select-only subclasses that never call
+        # super().__init__() still work.
+        state = self.__dict__.get("_select_adapter_state")
+        if state is None:
+            state = self.__dict__["_select_adapter_state"] = ([], set())
+        return state
+
+
+class LegacySchedulerAdapter(Scheduler):
+    """Wrap an object that duck-types the old protocol (``select``/``reset``).
+
+    The network applies this automatically, so pre-queue scheduler objects that
+    never subclassed :class:`Scheduler` keep working unchanged.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
+        return self.inner.select(in_flight, rng)
+
+    def reset(self) -> None:
+        reset = getattr(self.inner, "reset", None)
+        if reset is not None:
+            reset()
 
 
 class FairScheduler(Scheduler):
@@ -47,10 +156,40 @@ class FairScheduler(Scheduler):
     bit-for-bit reproducible.  This is the scheduler used by the benchmark harness
     because earliest-arrival order is what a real network with those latencies would
     do.
+
+    Implementation: a lazy-deletion binary heap keyed on ``(arrival_time,
+    msg_id)`` — push and pop are O(log M); traffic to retired recipients is
+    skipped (and permanently discarded) as the pops walk past it.
     """
 
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Message]] = []
+        self._retired: Set[str] = set()
+
+    def push(self, message: Message) -> None:
+        if message.recipient in self._retired:
+            return  # never deliverable; the network drops it at quiescence
+        heappush(self._heap, (message.arrival_time, message.msg_id, message))
+
+    def pop(self, rng: random.Random) -> Optional[Message]:
+        heap = self._heap
+        retired = self._retired
+        while heap:
+            message = heappop(heap)[2]
+            if message.recipient in retired:
+                continue  # lazy deletion
+            return message
+        return None
+
+    def retire_recipient(self, node_id: str) -> None:
+        self._retired.add(node_id)
+
+    def reset(self) -> None:
+        self._heap.clear()
+        self._retired.clear()
+
     def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
-        return min(in_flight, key=lambda m: (m.arrival_time, m.msg_id))
+        return min(in_flight, key=_arrival_key)
 
 
 class RoundRobinScheduler(Scheduler):
@@ -58,29 +197,188 @@ class RoundRobinScheduler(Scheduler):
 
     This matches the turn-based presentation of the execution model: node 1 moves,
     then node 2, and so on, with every node scheduled infinitely often.
+
+    Implementation: one binary heap per recipient plus a rotation cursor.
+    Recipients are discovered in message-arrival order (the order their first
+    in-flight message was sent), which makes the rotation independent of
+    ``PYTHONHASHSEED`` — the seed implementation iterated a ``set`` here and
+    silently depended on string hashing.
     """
 
     def __init__(self, order: Optional[Iterable[str]] = None) -> None:
         self._order: List[str] = list(order) if order is not None else []
+        self._known: Set[str] = set(self._order)
         self._cursor = 0
+        self._heaps: Dict[str, List[Tuple[float, int, Message]]] = {}
+        self._undiscovered: List[str] = []
+        self._retired: Set[str] = set()
+
+    def push(self, message: Message) -> None:
+        recipient = message.recipient
+        if recipient in self._retired:
+            return
+        heap = self._heaps.get(recipient)
+        if heap is None:
+            heap = self._heaps[recipient] = []
+        heappush(heap, (message.arrival_time, message.msg_id, message))
+        if recipient not in self._known:
+            self._known.add(recipient)
+            self._undiscovered.append(recipient)
+
+    def pop(self, rng: random.Random) -> Optional[Message]:
+        # Discovery happens at pop time (as it did at select time in the seed
+        # core): recipients whose first message arrived since the last pop join
+        # the rotation now, unless they already retired — a recipient that never
+        # had a deliverable message never gets a turn.
+        if self._undiscovered:
+            for recipient in self._undiscovered:
+                if recipient not in self._retired:
+                    self._order.append(recipient)
+            self._undiscovered.clear()
+        order = self._order
+        if not order:
+            return None
+        for _ in range(len(order)):
+            candidate = order[self._cursor % len(order)]
+            self._cursor += 1
+            if candidate in self._retired:
+                continue
+            heap = self._heaps.get(candidate)
+            if heap:
+                return heappop(heap)[2]
+        return None
+
+    def retire_recipient(self, node_id: str) -> None:
+        self._retired.add(node_id)
 
     def reset(self) -> None:
+        # The seed implementation kept discovered recipients across runs and
+        # only rewound the cursor; preserve that.
         self._cursor = 0
+        self._heaps.clear()
+        self._undiscovered.clear()
+        self._known = set(self._order)
+        self._retired.clear()
 
     def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
-        recipients = {m.recipient for m in in_flight}
-        for known in recipients:
+        # Legacy path (shares _order/_cursor with the queue path; drive a given
+        # instance through one protocol only).  Discovery uses first-occurrence
+        # order, not set iteration order — see the class docstring.
+        for known in dict.fromkeys(m.recipient for m in in_flight):
             if known not in self._order:
                 self._order.append(known)
+                self._known.add(known)
         for _ in range(len(self._order)):
             candidate = self._order[self._cursor % len(self._order)]
             self._cursor += 1
             pending = [m for m in in_flight if m.recipient == candidate]
             if pending:
-                return min(pending, key=lambda m: (m.arrival_time, m.msg_id))
+                return min(pending, key=_arrival_key)
         # All pending recipients are unknown (cannot happen after the loop above,
         # kept as a safe fallback).
-        return min(in_flight, key=lambda m: (m.arrival_time, m.msg_id))
+        return min(in_flight, key=_arrival_key)
+
+
+class _IndexedLiveList:
+    """Insertion-ordered list with O(log n) k-th-live selection and lazy removal.
+
+    Backs :class:`RandomScheduler`.  A Fenwick tree over alive flags supports
+    "give me the k-th live element in insertion order" without materialising the
+    live list, which is what keeps the random schedule *bit-identical* to the
+    seed implementation: the seed drew ``rng.randrange(len(deliverable))`` and
+    indexed the deliverable list in insertion order, so both the draw bound and
+    the index→message mapping must be preserved exactly.  (A plain index-swap
+    array would be O(1) but permutes the order after every removal, silently
+    changing every random schedule.)
+
+    Dead slots are reclaimed by compaction — which preserves insertion order —
+    once they outnumber the live ones.
+    """
+
+    __slots__ = ("_cap", "_tree", "_items", "_alive", "_size", "_live", "_by_key")
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._cap = capacity
+        self._tree = [0] * (capacity + 1)  # 1-indexed Fenwick tree of alive counts
+        self._items: List[Optional[Message]] = [None] * capacity
+        self._alive = [False] * capacity
+        self._size = 0  # next free slot
+        self._live = 0
+        self._by_key: Dict[str, List[int]] = {}
+
+    def __len__(self) -> int:
+        return self._live
+
+    def append(self, item: Message) -> None:
+        if self._size == self._cap:
+            self._rebuild()
+        index = self._size
+        self._size = index + 1
+        self._items[index] = item
+        self._alive[index] = True
+        self._live += 1
+        self._tree_add(index + 1, 1)
+        self._by_key.setdefault(item.recipient, []).append(index)
+
+    def pop_kth(self, k: int) -> Message:
+        """Remove and return the k-th (0-based) live element in insertion order."""
+        index = self._kth(k)
+        item = self._items[index]
+        assert item is not None
+        self._kill(index)
+        return item
+
+    def kill_key(self, key: str) -> None:
+        """Lazily remove every live element appended under ``key``."""
+        for index in self._by_key.pop(key, ()):
+            if self._alive[index]:
+                self._kill(index)
+
+    def _kill(self, index: int) -> None:
+        self._alive[index] = False
+        self._items[index] = None
+        self._live -= 1
+        self._tree_add(index + 1, -1)
+
+    def _tree_add(self, pos: int, delta: int) -> None:
+        tree = self._tree
+        cap = self._cap
+        while pos <= cap:
+            tree[pos] += delta
+            pos += pos & -pos
+
+    def _kth(self, k: int) -> int:
+        """Smallest 0-based index whose prefix holds k+1 live elements."""
+        remaining = k + 1
+        pos = 0
+        bit = 1 << (self._cap.bit_length() - 1)
+        tree = self._tree
+        cap = self._cap
+        while bit:
+            nxt = pos + bit
+            if nxt <= cap and tree[nxt] < remaining:
+                remaining -= tree[nxt]
+                pos = nxt
+            bit >>= 1
+        return pos  # pos is 1-indexed position - 1 == 0-based index
+
+    def _rebuild(self) -> None:
+        # Compact in place if at least half the slots are dead, else double.
+        capacity = self._cap if self._live * 2 <= self._cap else self._cap * 2
+        survivors = [item for item in self._items[: self._size] if item is not None]
+        self._cap = capacity
+        self._tree = [0] * (capacity + 1)
+        self._items = survivors + [None] * (capacity - len(survivors))
+        self._alive = [True] * len(survivors) + [False] * (capacity - len(survivors))
+        self._size = len(survivors)
+        self._live = len(survivors)
+        self._by_key = {}
+        for index, item in enumerate(survivors):
+            self._tree_add(index + 1, 1)
+            self._by_key.setdefault(item.recipient, []).append(index)
+
+    def clear(self) -> None:
+        self.__init__()
 
 
 class RandomScheduler(Scheduler):
@@ -89,7 +387,34 @@ class RandomScheduler(Scheduler):
     Because the set of in-flight messages is finite and every step removes the
     selected one, every message is eventually delivered — the schedule is fair with
     probability 1.
+
+    Implementation: an :class:`_IndexedLiveList`; retiring a recipient kills its
+    queued messages immediately so the ``randrange`` bound (and therefore the
+    RNG stream) matches the seed deliverable-list semantics draw for draw.
     """
+
+    def __init__(self) -> None:
+        self._queue = _IndexedLiveList()
+        self._retired: Set[str] = set()
+
+    def push(self, message: Message) -> None:
+        if message.recipient in self._retired:
+            return
+        self._queue.append(message)
+
+    def pop(self, rng: random.Random) -> Optional[Message]:
+        live = len(self._queue)
+        if live == 0:
+            return None
+        return self._queue.pop_kth(rng.randrange(live))
+
+    def retire_recipient(self, node_id: str) -> None:
+        self._retired.add(node_id)
+        self._queue.kill_key(node_id)
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._retired.clear()
 
     def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
         return in_flight[rng.randrange(len(in_flight))]
@@ -103,20 +428,113 @@ class AdversarialScheduler(Scheduler):
     delivered even if it involves a targeted node.  This models a worst-case (but
     fair) asynchronous adversary and is used by the resilience tests to confirm that
     protocol outputs do not depend on scheduling.
+
+    Implementation: separate targeted / non-targeted heaps keyed on
+    ``(arrival_time, msg_id)``.  The per-message deferral count of the seed
+    implementation is equivalent to "number of non-targeted deliveries since
+    this message was pushed" (every such delivery deferred every deliverable
+    targeted message by one), so it is tracked *incrementally*: an era counter
+    increments per non-targeted delivery, targeted messages are bucketed by
+    their entry era, and the bucket whose budget just expired is promoted into
+    a third "forced" heap — no per-step re-sort, no per-message dict updates.
     """
 
     targets: frozenset = frozenset()
     max_deferrals: int = 16
+    # Legacy ``select`` state only; the queue path tracks deferrals via eras.
     _deferrals: Dict[int, int] = field(default_factory=dict)
 
-    def reset(self) -> None:
-        self._deferrals.clear()
+    def __post_init__(self) -> None:
+        self._clear_queue_state()
+
+    def _clear_queue_state(self) -> None:
+        self._targeted: List[Tuple[float, int, Message]] = []
+        self._clean: List[Tuple[float, int, Message]] = []
+        self._forced: List[Tuple[float, int, Message]] = []
+        self._era = 0
+        self._buckets: Dict[int, List[Message]] = {}
+        # msg_ids delivered from one heap while a twin entry remains in another
+        # (targeted messages live in ``_targeted`` plus a bucket or ``_forced``).
+        self._delivered: Set[int] = set()
+        self._retired: Set[str] = set()
+        # With a non-positive budget every message is immediately "forced": the
+        # seed semantics degenerate to earliest-arrival-first over everything.
+        self._all_forced = self.max_deferrals <= 0
 
     def _is_targeted(self, message: Message) -> bool:
         return message.sender in self.targets or message.recipient in self.targets
 
+    # -- queue protocol -------------------------------------------------------
+    def push(self, message: Message) -> None:
+        if message.recipient in self._retired:
+            return
+        entry = (message.arrival_time, message.msg_id, message)
+        if self._all_forced:
+            heappush(self._forced, entry)
+        elif self._is_targeted(message):
+            heappush(self._targeted, entry)
+            self._buckets.setdefault(self._era, []).append(message)
+        else:
+            heappush(self._clean, entry)
+
+    def pop(self, rng: random.Random) -> Optional[Message]:
+        retired = self._retired
+        delivered = self._delivered
+        # 1. Forced deliveries first: messages whose deferral budget expired
+        #    (earliest-arrival order, exactly like the seed's ordered scan).
+        forced = self._forced
+        while forced:
+            message = heappop(forced)[2]
+            if message.msg_id in delivered:
+                delivered.discard(message.msg_id)  # twin already delivered
+                continue
+            if message.recipient in retired:
+                continue
+            if not self._all_forced:
+                delivered.add(message.msg_id)  # twin remains in _targeted
+            return message
+        # 2. Prefer non-targeted traffic; its delivery defers every deliverable
+        #    targeted message by one (tracked via the era counter).
+        clean = self._clean
+        while clean:
+            message = heappop(clean)[2]
+            if message.recipient in retired:
+                continue
+            self._era += 1
+            expired = self._buckets.pop(self._era - self.max_deferrals, None)
+            if expired:
+                for victim in expired:
+                    if victim.msg_id in delivered:
+                        delivered.discard(victim.msg_id)
+                    elif victim.recipient not in retired:
+                        heappush(
+                            self._forced,
+                            (victim.arrival_time, victim.msg_id, victim),
+                        )
+            return message
+        # 3. Only targeted traffic left — fairness forces a delivery.
+        targeted = self._targeted
+        while targeted:
+            message = heappop(targeted)[2]
+            if message.msg_id in delivered:
+                delivered.discard(message.msg_id)
+                continue
+            if message.recipient in retired:
+                continue
+            delivered.add(message.msg_id)  # twin remains in a bucket / _forced
+            return message
+        return None
+
+    def retire_recipient(self, node_id: str) -> None:
+        self._retired.add(node_id)
+
+    def reset(self) -> None:
+        self._deferrals.clear()
+        self._clear_queue_state()
+
+    # -- legacy path ----------------------------------------------------------
     def select(self, in_flight: Sequence[Message], rng: random.Random) -> Message:
-        ordered = sorted(in_flight, key=lambda m: (m.arrival_time, m.msg_id))
+        ordered = sorted(in_flight, key=_arrival_key)
         # Forced deliveries first: messages that exhausted their deferral budget.
         for message in ordered:
             if self._deferrals.get(message.msg_id, 0) >= self.max_deferrals:

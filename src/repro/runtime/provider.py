@@ -154,6 +154,7 @@ class CollectingProviderNode(Node):
 
     def _on_framework_done(self, block: ProtocolBlock) -> None:
         if self.announce_result and self._current_ctx is not None:
-            for user_id in self.expected_users:
-                self._current_ctx.send(user_id, block.result, tag=RESULT_TAG)
+            # One broadcast (rather than a send loop) so the simulator measures
+            # the result payload's wire size once for all users.
+            self._current_ctx.broadcast(self.expected_users, block.result, tag=RESULT_TAG)
         self.finish(block.result)

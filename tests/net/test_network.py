@@ -166,3 +166,61 @@ class TestVirtualTime:
             return stats.elapsed_time, stats.messages_delivered
 
         assert run_once() == run_once()
+
+
+class Recorder(Node):
+    """Echo node that records the msg_id of every delivery it sees."""
+
+    def __init__(self, node_id: str, trace, target: str = "") -> None:
+        super().__init__(node_id)
+        self.trace = trace
+        self.target = target
+
+    def on_start(self, ctx):
+        if self.target:
+            ctx.send(self.target, "ping")
+
+    def on_message(self, ctx, message):
+        self.trace.append(message.msg_id)
+        if message.payload == "ping":
+            ctx.send(message.sender, "pong")
+        elif message.payload == "pong":
+            self.finish("done")
+
+
+class TestPerNetworkMessageIds:
+    def _trace_one_run(self):
+        trace = []
+        net = SimNetwork(latency_model=ConstantLatencyModel(0.01), seed=3)
+        net.add_node(Recorder("a", trace, target="b"))
+        net.add_node(Recorder("b", trace))
+        net.run()
+        return trace
+
+    def test_ids_do_not_depend_on_earlier_networks(self):
+        """Seed bug-by-design: ids came from a process-global counter, so traces
+        depended on how many networks ran earlier in the process."""
+        first = self._trace_one_run()
+        Message.create("x", "y", "unrelated traffic elsewhere in the process")
+        second = self._trace_one_run()
+        assert first == second
+        assert min(first) == 0  # allocation starts at zero for every network
+
+    def test_messages_outside_a_network_use_the_global_counter(self):
+        first = Message.create("a", "b", 1)
+        self._trace_one_run()  # network ids stay out of the global sequence
+        second = Message.create("a", "b", 2)
+        assert second.msg_id > first.msg_id
+
+
+class TestInFlightIntrospection:
+    def test_in_flight_count_matches_list_without_copying(self):
+        net = SimNetwork(latency_model=ConstantLatencyModel(0.5))
+        net.add_node(Starter("a", target="b"))
+        net.add_node(Echo("b"))
+        net.start()
+        assert net.in_flight_count == 1
+        assert len(net.in_flight) == net.in_flight_count
+        net.run()
+        assert net.in_flight_count == 0
+        assert net.in_flight == []
