@@ -51,9 +51,12 @@ __all__ = [
     "Figure5Experiment",
     "default_latency_model",
     "export_net_artifact",
+    "export_resilience_artifact",
     "export_sweep_artifact",
     "record_to_point",
+    "resilience_bench_spec",
     "run_net_benchmark",
+    "run_resilience_benchmark",
 ]
 
 
@@ -169,6 +172,131 @@ def export_net_artifact(payload: Dict[str, object], path="BENCH_net.json") -> st
     The durable counterpart of ``BENCH_sweep.json`` for the simulator layer;
     CI regenerates it in quick mode and greps the ``summary`` line.  Returns
     the path written.
+    """
+    import json
+    import os
+
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def resilience_bench_spec(
+    num_users: int = 120,
+    num_providers: int = 5,
+    k: int = 2,
+    seeds: Sequence[int] = (0, 1, 2),
+):
+    """The audit spec both resilience benchmarks time (single source of truth).
+
+    Every coalition of size <= ``k`` (15 coalitions at the default m=5, k=2)
+    x the four-deviation library x ``seeds``: 180 cells at the defaults.
+    Shared by :func:`run_resilience_benchmark` and
+    ``benchmarks/test_bench_resilience.py`` so the timed benchmarks and the
+    exported artifact can never measure different audits.
+    """
+    from repro.scenarios.resilience import ResilienceSpec
+    from repro.scenarios.spec import ScenarioSpec
+
+    return ResilienceSpec(
+        name="bench-resilience",
+        base=ScenarioSpec(
+            name="bench-resilience",
+            mechanism="double",
+            users=num_users,
+            providers=num_providers,
+            config={"k": min(k, (num_providers - 1) // 2)},
+            latency="constant",
+            seed=seeds[0],
+            measure_compute=False,
+        ),
+        k=k,
+        adversaries=(
+            "equivocate",
+            {"kind": "tamper_output", "bonus": 5.0},
+            "drop_messages",
+            {"kind": "crash", "max_sends": 4},
+        ),
+        schedules=("fair",),
+        seeds=tuple(seeds),
+    )
+
+
+def run_resilience_benchmark(
+    num_users: int = 120,
+    num_providers: int = 5,
+    k: int = 2,
+    workers: int = 4,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Dict[str, object]:
+    """Measure the parallel resilience audit against the sequential path.
+
+    Runs the :func:`resilience_bench_spec` audit once sequentially and once
+    through a ``workers``-process pool, checks the verdicts are bit-identical,
+    and reports both wall times plus the speedup.  The headline numbers of
+    ``BENCH_resilience.json``; the speedup is only meaningful on a host with
+    at least ``workers`` cores (``cpu_count`` is recorded next to it).
+    """
+    import os
+    import time
+
+    from repro.scenarios.resilience import run_resilience
+
+    spec = resilience_bench_spec(
+        num_users=num_users, num_providers=num_providers, k=k, seeds=seeds
+    )
+    coalitions = len(spec.coalition_selectors())
+    cells = len(spec.cells()) * len(spec.effective_seeds())
+
+    start = time.perf_counter()
+    sequential = run_resilience(spec)
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_resilience(spec, workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    speedup = sequential_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    identical = sequential.records == parallel.records
+    return {
+        "note": (
+            f"speedup requires >= {workers} cores; on smaller hosts the pool "
+            "overhead dominates and the honest sub-1x ratio is recorded "
+            "alongside cpu_count"
+        ),
+        "bench": "resilience-audit",
+        "workload": "double-auction coalition-deviation audit",
+        "users": num_users,
+        "providers": num_providers,
+        "audit_k": k,
+        "coalitions": coalitions,
+        "cells": cells,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "wall_seconds_sequential": sequential_seconds,
+        "wall_seconds_parallel": parallel_seconds,
+        "speedup": speedup,
+        "verdicts_identical": identical,
+        "resilient": sequential.is_resilient(),
+        "summary": (
+            f"BENCH_resilience: {cells} cells over {coalitions} coalitions, "
+            f"workers={workers}: {speedup:.1f}x vs sequential "
+            f"({parallel_seconds:.2f}s vs {sequential_seconds:.2f}s, "
+            f"{os.cpu_count()} cores), verdicts identical={identical}"
+        ),
+    }
+
+
+def export_resilience_artifact(
+    payload: Dict[str, object], path="BENCH_resilience.json"
+) -> str:
+    """Write the resilience-audit bench artifact (see :func:`run_resilience_benchmark`).
+
+    The durable counterpart of ``BENCH_sweep.json`` / ``BENCH_net.json`` for
+    the game-theory layer; CI regenerates it in quick mode and greps the
+    ``summary`` line.  Returns the path written.
     """
     import json
     import os

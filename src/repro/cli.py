@@ -1,6 +1,6 @@
 """Command-line interface, built on the declarative scenario API.
 
-Five sub-commands cover the common workflows::
+Six sub-commands cover the common workflows::
 
     repro-auction run   --mechanism double --users 100 --providers 8 --k 1
     repro-auction run   --spec scenario.toml --set users=200 --set config.k=2 --json
@@ -10,6 +10,13 @@ Five sub-commands cover the common workflows::
     repro-auction sweep --spec sweep.json --workers 4 --output results.jsonl --resume
     repro-auction fig4  --users 100 200 400 --k 1 2 3
     repro-auction fig5  --users 25 50 75 --parallelism 1 2 4 --engine vectorized
+    repro-auction resilience --spec resilience.json --workers 4 --output audit.jsonl
+
+``resilience`` audits the paper's headline claim (Definition 2, k-resilient
+ex-post equilibrium): every coalition up to ``k`` runs every deviation of the
+library under every schedule, against a memoised honest baseline; the exit
+status is 0 when no deviation was profitable or outcome-altering.  It shares
+the grid flags (``--workers``/``--output``/``--resume``) with ``sweep``.
 
 ``run`` executes one auction round and prints the outcome; ``batch`` runs many
 rounds of one scenario with amortised setup; ``sweep`` runs a grid of scenarios
@@ -47,7 +54,8 @@ from typing import Any, Dict, Optional, Sequence
 from repro.auctions.engine import DEFAULT_ENGINE, ENGINES
 from repro.bench.harness import Figure4Experiment, Figure5Experiment, record_to_point
 from repro.bench.reporting import format_points, format_series
-from repro.scenarios.io import load_any
+from repro.scenarios.io import load_any, load_resilience
+from repro.scenarios.resilience import ResilienceResult, resilience_with_overrides, run_resilience
 from repro.scenarios.simulation import Simulation
 from repro.scenarios.spec import (
     ScenarioSpec,
@@ -191,6 +199,31 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--series", action="store_true", help="print per-series summary")
     sweep.add_argument("--json", action="store_true", help="print machine-readable JSON records")
     add_grid_options(sweep)
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="audit the k-resilience claim: coalition deviations vs the honest run",
+    )
+    resilience.add_argument(
+        "--spec",
+        metavar="FILE",
+        required=True,
+        help="resilience spec file (.json or .toml): a 'base' scenario plus "
+        "k/coalitions/adversaries/schedules/seeds",
+    )
+    resilience.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted-path override applied to the audit spec (e.g. --set k=2 "
+        "or --set base.users=30); repeatable",
+    )
+    resilience.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON records"
+    )
+    add_grid_options(resilience)
 
     return parser
 
@@ -364,6 +397,52 @@ def _command_fig5(args: argparse.Namespace) -> int:
     return _command_figure(experiment, args)
 
 
+def _command_resilience(args: argparse.Namespace) -> int:
+    spec = load_resilience(args.spec)
+    spec = resilience_with_overrides(spec, parse_assignments(args.overrides))
+    result = run_resilience(spec, **_grid_kwargs(args))
+    if args.output:
+        print(
+            f"store {args.output}: reused {result.resumed_cells} journaled cells, "
+            f"executed {result.executed_cells} new cells",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(result.to_json())
+    else:
+        _print_resilience(result)
+    return 0 if result.is_resilient() else 1
+
+
+def _print_resilience(result: ResilienceResult) -> None:
+    header = (
+        f"{'deviation':<28s} {'coalition':<20s} {'schedule':<12s} "
+        f"{'seed':>6s} {'outcome':<8s} {'max gain':>12s}"
+    )
+    print(f"audit: {result.name}")
+    print(header)
+    print("-" * len(header))
+    for record in result.records:
+        outcome = "ABORT" if record.deviating_aborted else "agreed"
+        coalition = ",".join(record.coalition)
+        print(
+            f"{record.label:<28s} {coalition:<20s} {record.schedule:<12s} "
+            f"{record.seed:>6d} {outcome:<8s} {record.max_gain:>12.6f}"
+        )
+    print()
+    if result.is_resilient():
+        print(
+            f"VERDICT: resilient — no profitable or outcome-altering deviation "
+            f"across {len(result.records)} cells"
+        )
+    else:
+        print("VERDICT: NOT resilient")
+        for record in result.profitable_deviations:
+            print(f"  profitable: {record.label} by {','.join(record.coalition)}")
+        for record in result.influence_violations:
+            print(f"  altered outcome: {record.label} by {','.join(record.coalition)}")
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     loaded = load_any(args.spec)
     if isinstance(loaded, ScenarioSpec):
@@ -387,6 +466,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_batch(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "resilience":
+            return _command_resilience(args)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -12,6 +12,15 @@ several schedules and verify the two facts the paper's proof rests on:
 2. **no influence beyond ⊥** — the outcome observed when the coalition deviates is
    either the honest outcome or ⊥ (a coalition cannot steer the correct providers to
    a *different* valid result).
+
+:func:`check_k_resilience` is the **supported low-level API**: it accepts arbitrary
+hand-wired coalitions and deviation callables (custom ``forge`` functions, bespoke
+tampering rules) against one configured auctioneer.  The declarative layer on top —
+:mod:`repro.scenarios.resilience`, ``repro-auction resilience`` — expands a
+serializable audit grid (coalitions x deviations x schedules x seeds), memoises the
+honest baseline per ``(schedule, seed)`` and parallelises across workers; its
+verdicts are pinned to this function, float for float, by
+``tests/gametheory/test_resilience_parallel.py``.
 """
 
 from __future__ import annotations

@@ -24,20 +24,35 @@ file is a complete new scenario.
 
 from repro.scenarios.builtin import BUILTIN_SWEEPS, builtin_sweep, figure4_sweep, figure5_sweep
 from repro.scenarios.io import (
+    dump_resilience,
     dump_spec,
     dump_sweep,
     dumps_toml,
     load_any,
+    load_resilience,
     load_spec,
     load_sweep,
 )
 from repro.scenarios.registry import (
+    ADVERSARIES,
     BIDDER_STRATEGIES,
     LATENCIES,
     MECHANISMS,
+    SCHEDULERS,
     TOPOLOGIES,
     WORKLOADS,
     Registry,
+)
+from repro.scenarios.resilience import (
+    AdversarySpec,
+    ResilienceRecord,
+    ResilienceResult,
+    ResilienceSpec,
+    resilience_fingerprint,
+    resilience_from_dict,
+    resilience_to_dict,
+    resilience_with_overrides,
+    run_resilience,
 )
 from repro.scenarios.runner import RunRecord, run_scenario
 from repro.scenarios.simulation import BatchResult, Simulation, run_file
@@ -59,6 +74,8 @@ from repro.scenarios.store import ResultsStore, sweep_fingerprint
 from repro.scenarios.sweep import ComponentCache, SweepResult, run_sweep
 
 __all__ = [
+    "ADVERSARIES",
+    "AdversarySpec",
     "BIDDER_STRATEGIES",
     "BUILTIN_SWEEPS",
     "BatchResult",
@@ -69,8 +86,12 @@ __all__ = [
     "LATENCIES",
     "MECHANISMS",
     "Registry",
+    "ResilienceRecord",
+    "ResilienceResult",
+    "ResilienceSpec",
     "ResultsStore",
     "RunRecord",
+    "SCHEDULERS",
     "ScenarioSpec",
     "Simulation",
     "SpecError",
@@ -79,16 +100,23 @@ __all__ = [
     "TOPOLOGIES",
     "WORKLOADS",
     "builtin_sweep",
+    "dump_resilience",
     "dump_spec",
     "dump_sweep",
     "dumps_toml",
     "figure4_sweep",
     "figure5_sweep",
     "load_any",
+    "load_resilience",
     "load_spec",
     "load_sweep",
     "parse_assignments",
+    "resilience_fingerprint",
+    "resilience_from_dict",
+    "resilience_to_dict",
+    "resilience_with_overrides",
     "run_file",
+    "run_resilience",
     "run_scenario",
     "run_sweep",
     "spec_from_dict",

@@ -40,9 +40,11 @@ from repro.scenarios.spec import (
 __all__ = [
     "load_spec",
     "load_sweep",
+    "load_resilience",
     "load_any",
     "dump_spec",
     "dump_sweep",
+    "dump_resilience",
     "dumps_toml",
 ]
 
@@ -106,6 +108,23 @@ def load_sweep(path: Union[str, os.PathLike]) -> SweepSpec:
         raise SpecError(str(path), exc.args[0]) from exc
 
 
+def load_resilience(path: Union[str, os.PathLike]):
+    """Load a :class:`~repro.scenarios.resilience.ResilienceSpec` from a file.
+
+    A resilience spec file is a ``base`` scenario table plus the audit fields
+    (``k`` / ``coalitions`` / ``adversaries`` / ``schedules`` / ``seeds``);
+    it is loaded only by the ``resilience`` entry points, so ``load_any``'s
+    sweep detection is unaffected.
+    """
+    from repro.scenarios.resilience import resilience_from_dict
+
+    data = _read_table(path)
+    try:
+        return resilience_from_dict(data)
+    except SpecError as exc:
+        raise SpecError(str(path), exc.args[0]) from exc
+
+
 def load_any(path: Union[str, os.PathLike]) -> Union[ScenarioSpec, SweepSpec]:
     """Load whichever spec the file holds.
 
@@ -130,6 +149,13 @@ def dump_sweep(sweep: SweepSpec, path: Union[str, os.PathLike]) -> None:
     _write_table(sweep_to_dict(sweep), path)
 
 
+def dump_resilience(spec, path: Union[str, os.PathLike]) -> None:
+    """Write a resilience spec to ``path`` as JSON or TOML (by extension)."""
+    from repro.scenarios.resilience import resilience_to_dict
+
+    _write_table(resilience_to_dict(spec), path)
+
+
 def _write_table(data: Dict[str, Any], path: Union[str, os.PathLike]) -> None:
     extension = _format_of(path)
     if extension == ".json":
@@ -145,8 +171,10 @@ def dumps_toml(data: Mapping[str, Any]) -> str:
     """Serialize a spec-shaped mapping to TOML text.
 
     Supports the value shapes spec serialization produces: strings, booleans,
-    integers, floats, homogeneous lists of scalars, nested tables, and lists
-    of tables (emitted as ``[[arrays.of.tables]]``).
+    integers, floats, homogeneous lists of scalars, nested tables, lists of
+    tables (emitted as ``[[arrays.of.tables]]``), and mixed lists of scalars
+    and tables (tables emitted inline — the shape of an adversary library
+    like ``["equivocate", {kind = "crash", max_sends = 4}]``).
     """
     lines: List[str] = []
     _emit_table(data, prefix=(), lines=lines)
@@ -200,4 +228,9 @@ def _toml_value(value: Any, key: str) -> str:
         return json.dumps(value)
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_value(item, key) for item in value) + "]"
+    if isinstance(value, Mapping):
+        inner = ", ".join(
+            f"{_toml_key(k)} = {_toml_value(v, k)}" for k, v in value.items()
+        )
+        return "{" + inner + "}"
     raise SpecError(key, f"cannot serialize {type(value).__name__} values to TOML")

@@ -27,6 +27,8 @@ __all__ = [
     "LATENCIES",
     "BIDDER_STRATEGIES",
     "TOPOLOGIES",
+    "ADVERSARIES",
+    "SCHEDULERS",
 ]
 
 
@@ -121,6 +123,17 @@ LATENCIES = Registry("latency model")
 BIDDER_STRATEGIES = Registry("bidder strategy")
 TOPOLOGIES = Registry("topology")
 
+#: Provider deviations for resilience audits.  A factory takes the adversary's
+#: spec parameters and returns a *node factory* with the honest constructor
+#: signature ``(provider_input, algorithm, config, expected_users, providers)``,
+#: directly usable as :attr:`repro.adversary.coalition.Coalition.deviant_factory`.
+ADVERSARIES = Registry("adversary")
+
+#: Message schedules for resilience audits.  A factory returns a fresh
+#: :class:`repro.net.scheduler.Scheduler`; instances reset between runs via
+#: ``begin_run``, so one instance may be shared across the runs of one audit.
+SCHEDULERS = Registry("schedule")
+
 
 # ---------------------------------------------------------------- built-in kinds --
 def _register_builtins() -> None:
@@ -140,11 +153,25 @@ def _register_builtins() -> None:
         StandardAuctionWorkload,
         VRSessionWorkload,
     )
+    from repro.adversary.provider_behaviors import (
+        CrashingProviderNode,
+        EquivocatingProviderNode,
+        InputForgingProviderNode,
+        MessageDroppingProviderNode,
+        OutputTamperingProviderNode,
+    )
+    from repro.core.provider_protocol import ProviderInput
     from repro.net.latency import (
         BandwidthLatencyModel,
         ConstantLatencyModel,
         UniformLatencyModel,
         ZeroLatencyModel,
+    )
+    from repro.net.scheduler import (
+        AdversarialScheduler,
+        FairScheduler,
+        RandomScheduler,
+        RoundRobinScheduler,
     )
 
     MECHANISMS.register("double", DoubleAuction)
@@ -177,6 +204,62 @@ def _register_builtins() -> None:
     BIDDER_STRATEGIES.register("scaling", ScalingBidder)
 
     TOPOLOGIES.register("community", generate_community_network)
+
+    # Adversary factories take the spec's keyword parameters and return
+    # coalition node factories.  Explicit keyword signatures (no **kwargs)
+    # matter: Registry.create converts a bad parameter into a path-precise
+    # SpecError, and run_resilience resolves every reference up front — so a
+    # typo fails before any simulation runs, not as a TypeError mid-audit.
+    def _equivocate(tag_substring: str = "|value", victim_fraction: float = 0.5):
+        return functools.partial(
+            EquivocatingProviderNode,
+            tag_substring=tag_substring,
+            victim_fraction=float(victim_fraction),
+        )
+
+    def _drop_messages(tag_substring: str = "|echo"):
+        return functools.partial(MessageDroppingProviderNode, tag_substring=tag_substring)
+
+    def _crash(max_sends: int = 5):
+        return functools.partial(CrashingProviderNode, max_sends=int(max_sends))
+
+    def _tamper_output(bonus: float = 1.0):
+        return functools.partial(OutputTamperingProviderNode, bonus=float(bonus))
+
+    def _forge_bids(factor: float = 2.0):
+        factor = float(factor)
+
+        def forge(provider_input):
+            forged = {}
+            for user_id, bid in provider_input.received_user_bids.items():
+                if hasattr(bid, "with_unit_value"):
+                    bid = bid.with_unit_value(bid.unit_value * factor)
+                forged[user_id] = bid
+            return ProviderInput(
+                provider_input.provider_id,
+                forged,
+                dict(provider_input.received_provider_asks),
+            )
+
+        return functools.partial(InputForgingProviderNode, forge=forge)
+
+    ADVERSARIES.register("equivocate", _equivocate)
+    ADVERSARIES.register("drop_messages", _drop_messages)
+    ADVERSARIES.register("crash", _crash)
+    ADVERSARIES.register("tamper_output", _tamper_output)
+    ADVERSARIES.register("forge_bids", _forge_bids)
+
+    def _adversarial_schedule(targets=(), max_deferrals: int = 16):
+        if isinstance(targets, str):
+            targets = (targets,)
+        return AdversarialScheduler(
+            targets=frozenset(targets), max_deferrals=int(max_deferrals)
+        )
+
+    SCHEDULERS.register("fair", FairScheduler)
+    SCHEDULERS.register("round_robin", RoundRobinScheduler)
+    SCHEDULERS.register("random", RandomScheduler)
+    SCHEDULERS.register("adversarial", _adversarial_schedule)
 
 
 def _community_latency_placeholder(**kwargs: Any):

@@ -1,0 +1,911 @@
+"""First-class resilience audits: the paper's k-resilience claim as a workload.
+
+Definition 2 of the paper makes the repo's central scientific claim: the
+distributed simulation is a *k-resilient ex-post equilibrium* — no coalition of
+at most ``k`` providers can profit by deviating, under every fair schedule.
+:func:`repro.gametheory.resilience.check_k_resilience` verifies that claim for
+one hand-wired ``(auctioneer, bids, coalitions)`` triple and remains the
+supported low-level API.  This module promotes it to a declarative, sweepable
+subsystem mirroring the scenario layer:
+
+* :class:`AdversarySpec` — one deviation from the library in
+  :mod:`repro.adversary.provider_behaviors`, referenced by string kind through
+  the ``ADVERSARIES`` registry (``equivocate``, ``drop_messages``, ``crash``,
+  ``tamper_output``, ``forge_bids``, plus anything user-registered);
+* :class:`ResilienceSpec` — a frozen, JSON/TOML-serializable audit: a base
+  :class:`~repro.scenarios.spec.ScenarioSpec` (mechanism, workload, size,
+  config, latency), the coalition bound ``k`` (or explicit coalitions), the
+  deviation library, the schedules (``SCHEDULERS`` registry) and the seeds;
+* :class:`ResilienceRecord` — the uniform, JSON-round-trippable result of one
+  audit cell ``(schedule x coalition x deviation) x seed``;
+* :func:`run_resilience` — the executor: sequential, or parallel over worker
+  processes (``workers=N``) with journaled resume (``store=path``), bit-identical
+  to the sequential path on all deterministic fields.
+
+**Honest-baseline memoisation guarantee**: within one executor (the sequential
+loop or one worker chunk) the honest run is solved exactly once per
+``(schedule, seed)`` group and shared by every cell of that group — and because
+the simulation is a pure function of ``(mechanism, workload, schedule, seed)``,
+recomputing it in another worker yields the bit-identical baseline, so chunking
+can never change a verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.adversary.coalition import Coalition
+from repro.community.workload import default_provider_ids
+from repro.core.framework import DistributedAuctioneer, SimulationReport
+from repro.gametheory.utility import outcome_provider_utility
+from repro.scenarios.registry import ADVERSARIES, SCHEDULERS
+from repro.scenarios.runner import (
+    build_latency_model,
+    build_mechanism,
+    build_topology,
+    build_workload,
+)
+from repro.scenarios.spec import (
+    ComponentSpec,
+    ScenarioSpec,
+    SpecError,
+    spec_from_dict,
+    spec_to_dict,
+    spec_with_overrides,
+)
+
+__all__ = [
+    "AdversarySpec",
+    "ResilienceSpec",
+    "ResilienceRecord",
+    "ResilienceResult",
+    "AuditContext",
+    "resilience_from_dict",
+    "resilience_to_dict",
+    "resilience_with_overrides",
+    "resilience_fingerprint",
+    "run_resilience",
+    "execute_cells",
+    "PROFIT_TOLERANCE",
+]
+
+#: Gains below this are treated as zero (same tolerance as
+#: :class:`repro.gametheory.resilience.DeviationOutcome`).
+PROFIT_TOLERANCE = 1e-9
+
+#: The default deviation library of :meth:`ResilienceSpec.effective_adversaries`:
+#: one representative of every deviation family in
+#: :mod:`repro.adversary.provider_behaviors`.
+DEFAULT_ADVERSARIES = (
+    ("equivocate", {}),
+    ("tamper_output", {"bonus": 5.0}),
+    ("drop_messages", {}),
+    ("crash", {"max_sends": 4}),
+)
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One deviation from the library, referenced by registry kind.
+
+    In spec files an adversary is either a bare string (``"equivocate"``) or a
+    table whose remaining keys are the factory parameters
+    (``{"kind": "tamper_output", "bonus": 5.0}``); an optional ``label``
+    overrides the display label echoed into every record.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    RESERVED_KEYS = frozenset({"kind", "label"})
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise SpecError("adversaries.kind", "adversary kind must be a non-empty string")
+        object.__setattr__(self, "params", dict(self.params) if self.params else {})
+        reserved = self.RESERVED_KEYS & set(self.params)
+        if reserved:
+            raise SpecError(
+                "adversaries",
+                f"adversary parameters may not use the reserved keys {sorted(reserved)}",
+            )
+
+    @property
+    def display_label(self) -> str:
+        if self.label is not None:
+            return self.label
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{k}={self.params[k]}" for k in sorted(self.params))
+        return f"{self.kind}({inner})"
+
+    def component(self) -> ComponentSpec:
+        return ComponentSpec(self.kind, self.params)
+
+    @staticmethod
+    def from_value(value: Any, path: str) -> "AdversarySpec":
+        if isinstance(value, AdversarySpec):
+            return value
+        if isinstance(value, str):
+            return AdversarySpec(value)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            kind = data.pop("kind", None)
+            if not isinstance(kind, str) or not kind:
+                raise SpecError(path, "expected a 'kind' string in the adversary table")
+            label = data.pop("label", None)
+            if label is not None and not isinstance(label, str):
+                raise SpecError(f"{path}.label", "adversary label must be a string")
+            try:
+                return AdversarySpec(kind, data, label)
+            except SpecError as exc:
+                raise SpecError(path, exc.message) from exc
+        raise SpecError(path, f"expected a string or a table, got {type(value).__name__}")
+
+    def to_value(self) -> Any:
+        if not self.params and self.label is None:
+            return self.kind
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.label is not None:
+            data["label"] = self.label
+        data.update(self.params)
+        return data
+
+
+#: One coalition selector: provider ids (strings) and/or executor indices (ints).
+CoalitionSelector = Tuple[Union[str, int], ...]
+
+#: One audit cell before the seed dimension: indices into the spec's
+#: ``schedules`` / expanded coalition list / effective adversary list.
+Cell = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """A complete, serializable description of one resilience audit.
+
+    Attributes:
+        name: free-form label, echoed into every record and the journal manifest.
+        base: the honest scenario being audited.  Must use the ``distributed``
+            runner — k-resilience is a claim about the provider protocol.
+        k: maximum coalition size for generated coalitions; defaults to the
+            base config's ``k`` (the paper audits exactly the bound it claims).
+        coalitions: explicit coalition selectors — each a list of provider ids
+            (strings) and/or executor indices (ints).  Empty means *generate*:
+            every subset of the executors of size ``1..k`` in lexicographic
+            index order, capped by ``max_coalitions``.
+        max_coalitions: cap on the number of generated coalitions (``None`` =
+            no cap).  Ignored for explicit ``coalitions``.
+        adversaries: the deviation library; empty means the built-in default
+            library (one representative per deviation family).
+        schedules: message schedules to audit under (``SCHEDULERS`` registry
+            kinds); the paper quantifies over fair schedules, so the default is
+            the deterministic earliest-arrival ``fair`` schedule.
+        seeds: master seeds; each reruns the whole grid with the base scenario
+            reseeded (fresh workload, jitter and protocol randomness).  Empty
+            means the base scenario's own seed.
+    """
+
+    name: str = "resilience"
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    k: Optional[int] = None
+    coalitions: Tuple[CoalitionSelector, ...] = ()
+    max_coalitions: Optional[int] = None
+    adversaries: Tuple[AdversarySpec, ...] = ()
+    schedules: Tuple[ComponentSpec, ...] = (ComponentSpec("fair"),)
+    seeds: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, Mapping):
+            object.__setattr__(self, "base", spec_from_dict(self.base))
+        if self.base.runner != "distributed":
+            raise SpecError(
+                "base.runner",
+                "resilience audits simulate deviating *providers*, which only the "
+                f"'distributed' runner hosts (got runner={self.base.runner!r})",
+            )
+        object.__setattr__(
+            self,
+            "adversaries",
+            tuple(
+                AdversarySpec.from_value(adversary, f"adversaries[{i}]")
+                for i, adversary in enumerate(self.adversaries)
+            ),
+        )
+        object.__setattr__(
+            self,
+            "schedules",
+            tuple(
+                ComponentSpec.from_value(schedule, f"schedules[{i}]")
+                for i, schedule in enumerate(self.schedules)
+            ),
+        )
+        if not self.schedules:
+            raise SpecError("schedules", "need at least one schedule")
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        coalitions = []
+        for i, selectors in enumerate(self.coalitions):
+            coalitions.append(_coalition_selector(selectors, f"coalitions[{i}]"))
+        object.__setattr__(self, "coalitions", tuple(coalitions))
+        executors = self.executor_count()
+        if self.k is not None:
+            if self.k < 1:
+                raise SpecError("k", "coalition bound k must be at least 1")
+            if self.k >= executors:
+                raise SpecError(
+                    "k",
+                    f"coalition bound k={self.k} leaves no honest executor "
+                    f"(executors={executors})",
+                )
+        if self.max_coalitions is not None and self.max_coalitions < 1:
+            raise SpecError("max_coalitions", "max_coalitions must be at least 1")
+        if not self.coalitions and self.effective_k() < 1:
+            # Without this guard a base config of k=0 expands to an empty grid
+            # and the audit would report "resilient" (and exit 0) vacuously.
+            raise SpecError(
+                "k",
+                f"the audit grid is empty: the base config has k={self.base.config.k} "
+                "and no explicit coalitions; set 'k' or 'coalitions'",
+            )
+
+    # -- derived defaults ---------------------------------------------------------
+    def executor_count(self) -> int:
+        """Providers that execute the protocol (coalition members come from these)."""
+        return self.base.executors if self.base.executors is not None else self.base.providers
+
+    def effective_k(self) -> int:
+        """The audited coalition bound: explicit ``k`` or the base config's."""
+        if self.k is not None:
+            return self.k
+        return min(self.base.config.k, max(1, self.executor_count() - 1))
+
+    def effective_adversaries(self) -> Tuple[AdversarySpec, ...]:
+        if self.adversaries:
+            return self.adversaries
+        return tuple(AdversarySpec(kind, dict(params)) for kind, params in DEFAULT_ADVERSARIES)
+
+    def effective_seeds(self) -> Tuple[int, ...]:
+        return self.seeds if self.seeds else (self.base.seed,)
+
+    def coalition_selectors(self) -> Tuple[CoalitionSelector, ...]:
+        """The audited coalitions: explicit selectors, or all subsets of size 1..k.
+
+        Generated coalitions are executor *indices* (resolved against the real
+        provider ids at run time, so they work with generated topologies too),
+        enumerated sizes-first in lexicographic index order and capped by
+        ``max_coalitions``.
+        """
+        if self.coalitions:
+            return self.coalitions
+        executors = self.executor_count()
+        generated: List[CoalitionSelector] = []
+        for size in range(1, self.effective_k() + 1):
+            for combo in itertools.combinations(range(executors), size):
+                generated.append(tuple(combo))
+                if self.max_coalitions is not None and len(generated) >= self.max_coalitions:
+                    return tuple(generated)
+        return tuple(generated)
+
+    def cells(self) -> List[Cell]:
+        """The ordered audit grid: schedules (outer) x coalitions x adversaries."""
+        return [
+            (si, ci, ai)
+            for si in range(len(self.schedules))
+            for ci in range(len(self.coalition_selectors()))
+            for ai in range(len(self.effective_adversaries()))
+        ]
+
+
+def _coalition_selector(selectors: Any, path: str) -> CoalitionSelector:
+    if isinstance(selectors, (str, int)):
+        selectors = (selectors,)
+    if not isinstance(selectors, (list, tuple)) or not selectors:
+        raise SpecError(
+            path, "a coalition must be a non-empty list of provider ids or executor indices"
+        )
+    members: List[Union[str, int]] = []
+    for j, member in enumerate(selectors):
+        if isinstance(member, bool) or not isinstance(member, (str, int)):
+            raise SpecError(
+                f"{path}[{j}]",
+                f"coalition members are provider-id strings or executor indices, "
+                f"got {type(member).__name__}",
+            )
+        if isinstance(member, int) and member < 0:
+            raise SpecError(f"{path}[{j}]", "executor indices must be non-negative")
+        members.append(member)
+    if len(set(members)) != len(members):
+        raise SpecError(path, "coalition members must be distinct")
+    return tuple(members)
+
+
+# ---------------------------------------------------------------------- parsing --
+_RESILIENCE_KEYS = {
+    "name",
+    "base",
+    "k",
+    "coalitions",
+    "max_coalitions",
+    "adversaries",
+    "schedules",
+    "seeds",
+}
+
+
+def resilience_from_dict(data: Mapping[str, Any]) -> ResilienceSpec:
+    """Parse a resilience spec from a plain (JSON/TOML-shaped) mapping.
+
+    Raises :class:`SpecError` with a dotted path to the offending key on any
+    unknown key, wrong type, or invalid value.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError("", f"expected a table at the top level, got {type(data).__name__}")
+    unknown = set(data) - _RESILIENCE_KEYS
+    if unknown:
+        raise SpecError(
+            sorted(unknown)[0],
+            f"unknown resilience key; expected one of {', '.join(sorted(_RESILIENCE_KEYS))}",
+        )
+    kwargs: Dict[str, Any] = {}
+    if "name" in data:
+        name = data["name"]
+        if not isinstance(name, str):
+            raise SpecError("name", f"expected a string, got {type(name).__name__}")
+        kwargs["name"] = name
+    if "base" in data:
+        base = data["base"]
+        if not isinstance(base, Mapping):
+            raise SpecError("base", f"expected a table, got {type(base).__name__}")
+        try:
+            kwargs["base"] = spec_from_dict(base)
+        except SpecError as exc:
+            raise SpecError(f"base.{exc.path}" if exc.path else "base", exc.message) from exc
+    for key in ("k", "max_coalitions"):
+        if key in data and data[key] is not None:
+            value = data[key]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(key, f"expected an integer, got {type(value).__name__}")
+            kwargs[key] = value
+    if "coalitions" in data:
+        entries = data["coalitions"]
+        if not isinstance(entries, (list, tuple)):
+            raise SpecError("coalitions", f"expected a list, got {type(entries).__name__}")
+        kwargs["coalitions"] = tuple(
+            _coalition_selector(entry, f"coalitions[{i}]") for i, entry in enumerate(entries)
+        )
+    if "adversaries" in data:
+        entries = data["adversaries"]
+        if not isinstance(entries, (list, tuple)):
+            raise SpecError("adversaries", f"expected a list, got {type(entries).__name__}")
+        kwargs["adversaries"] = tuple(
+            AdversarySpec.from_value(entry, f"adversaries[{i}]")
+            for i, entry in enumerate(entries)
+        )
+    if "schedules" in data:
+        entries = data["schedules"]
+        if not isinstance(entries, (list, tuple)):
+            raise SpecError("schedules", f"expected a list, got {type(entries).__name__}")
+        kwargs["schedules"] = tuple(
+            ComponentSpec.from_value(entry, f"schedules[{i}]")
+            for i, entry in enumerate(entries)
+        )
+    if "seeds" in data:
+        entries = data["seeds"]
+        if not isinstance(entries, (list, tuple)) or not all(
+            isinstance(s, int) and not isinstance(s, bool) for s in entries
+        ):
+            raise SpecError("seeds", "expected a list of integers")
+        kwargs["seeds"] = tuple(entries)
+    return ResilienceSpec(**kwargs)
+
+
+def resilience_to_dict(spec: ResilienceSpec) -> Dict[str, Any]:
+    """Serialize a resilience spec to a plain mapping (no ``None``, TOML-safe)."""
+    data: Dict[str, Any] = {"name": spec.name, "base": spec_to_dict(spec.base)}
+    if spec.k is not None:
+        data["k"] = spec.k
+    if spec.coalitions:
+        data["coalitions"] = [list(selectors) for selectors in spec.coalitions]
+    if spec.max_coalitions is not None:
+        data["max_coalitions"] = spec.max_coalitions
+    if spec.adversaries:
+        data["adversaries"] = [adversary.to_value() for adversary in spec.adversaries]
+    data["schedules"] = [schedule.to_value() for schedule in spec.schedules]
+    if spec.seeds:
+        data["seeds"] = list(spec.seeds)
+    return data
+
+
+def resilience_with_overrides(
+    spec: ResilienceSpec, overrides: Mapping[str, Any]
+) -> ResilienceSpec:
+    """A copy of ``spec`` with dotted-path overrides applied (re-validated).
+
+    Shares the override grammar of the scenario layer: ``base.users=30`` digs
+    into the base scenario, ``k=2`` / ``seeds=[0,1]`` replace audit fields.
+    """
+    from repro.scenarios.spec import apply_overrides
+
+    if not overrides:
+        return spec
+    return resilience_from_dict(apply_overrides(resilience_to_dict(spec), overrides))
+
+
+def resilience_fingerprint(spec: ResilienceSpec) -> str:
+    """A stable digest of the audit's full canonical spec (for journal manifests)."""
+    payload = json.dumps(resilience_to_dict(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- records --
+@dataclass(frozen=True)
+class ResilienceRecord:
+    """The uniform result of one audit cell: one coalition deviation vs honest.
+
+    All fields are JSON scalars or string-keyed mappings of scalars; the
+    :meth:`to_dict` / :meth:`from_dict` round trip is lossless (``json``
+    round-trips floats exactly).  Every field except the two ``*_elapsed``
+    readings is deterministic in ``(spec, schedule, seed)``; with
+    ``measure_compute=false`` the virtual clocks make those deterministic too.
+    """
+
+    name: str
+    mechanism: str
+    schedule: str
+    adversary: str
+    label: str
+    coalition: Tuple[str, ...]
+    users: int
+    providers: int
+    executors: int
+    k: int
+    audit_k: int
+    instance: int
+    seed: int
+    honest_aborted: bool
+    deviating_aborted: bool
+    altered_result: bool
+    profitable: bool
+    max_gain: float
+    member_gains: Mapping[str, float]
+    honest_messages: int
+    deviating_messages: int
+    honest_elapsed: float
+    deviating_elapsed: float
+
+    def __post_init__(self) -> None:
+        # Canonical member order, so journal bytes and equality are stable
+        # however the caller assembled the coalition.
+        object.__setattr__(self, "coalition", tuple(sorted(self.coalition)))
+        object.__setattr__(
+            self, "member_gains", {m: self.member_gains[m] for m in sorted(self.member_gains)}
+        )
+
+    @property
+    def coalition_size(self) -> int:
+        return len(self.coalition)
+
+    @property
+    def resilient(self) -> bool:
+        """The cell's verdict: the deviation neither profited nor steered the result."""
+        return not self.profitable and not self.altered_result
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "mechanism": self.mechanism,
+            "schedule": self.schedule,
+            "adversary": self.adversary,
+            "label": self.label,
+            "coalition": list(self.coalition),
+            "users": self.users,
+            "providers": self.providers,
+            "executors": self.executors,
+            "k": self.k,
+            "audit_k": self.audit_k,
+            "instance": self.instance,
+            "seed": self.seed,
+            "honest_aborted": self.honest_aborted,
+            "deviating_aborted": self.deviating_aborted,
+            "altered_result": self.altered_result,
+            "profitable": self.profitable,
+            "max_gain": self.max_gain,
+            "member_gains": dict(self.member_gains),
+            "honest_messages": self.honest_messages,
+            "deviating_messages": self.deviating_messages,
+            "honest_elapsed": self.honest_elapsed,
+            "deviating_elapsed": self.deviating_elapsed,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ResilienceRecord":
+        return ResilienceRecord(
+            name=data["name"],
+            mechanism=data["mechanism"],
+            schedule=data["schedule"],
+            adversary=data["adversary"],
+            label=data["label"],
+            coalition=tuple(data["coalition"]),
+            users=data["users"],
+            providers=data["providers"],
+            executors=data["executors"],
+            k=data["k"],
+            audit_k=data["audit_k"],
+            instance=data["instance"],
+            seed=data["seed"],
+            honest_aborted=data["honest_aborted"],
+            deviating_aborted=data["deviating_aborted"],
+            altered_result=data["altered_result"],
+            profitable=data["profitable"],
+            max_gain=data["max_gain"],
+            member_gains=dict(data["member_gains"]),
+            honest_messages=data["honest_messages"],
+            deviating_messages=data["deviating_messages"],
+            honest_elapsed=data["honest_elapsed"],
+            deviating_elapsed=data["deviating_elapsed"],
+        )
+
+
+@dataclass
+class ResilienceResult:
+    """All records of one audit, in grid order, plus the aggregate verdict."""
+
+    name: str
+    base: Dict[str, Any]
+    records: List[ResilienceRecord] = field(default_factory=list)
+    executed_cells: int = 0
+    resumed_cells: int = 0
+
+    @property
+    def profitable_deviations(self) -> List[ResilienceRecord]:
+        return [r for r in self.records if r.profitable]
+
+    @property
+    def influence_violations(self) -> List[ResilienceRecord]:
+        return [r for r in self.records if r.altered_result]
+
+    def is_resilient(self) -> bool:
+        """True if no cell found a profitable or outcome-steering deviation."""
+        return all(record.resilient for record in self.records)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "audit": self.name,
+            "base": self.base,
+            "resilient": self.is_resilient(),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# --------------------------------------------------------------------- execution --
+class AuditContext:
+    """Per-executor state of one audit: components, baselines, coalitions.
+
+    One instance backs one executor — the sequential loop or one parallel
+    worker's chunk.  It memoises exactly what the honest-baseline guarantee
+    promises: the mechanism once per audit, the workload / bids / latency model
+    / provider ids once per seed, the auctioneer (and its scheduler instance)
+    once per ``(schedule, seed)``, and the honest run once per
+    ``(schedule, seed)``.  :meth:`close` releases engine resources (idempotent);
+    always call it — or use the context as a context manager.
+    """
+
+    def __init__(self, spec: ResilienceSpec) -> None:
+        self.spec = spec
+        self.cells = spec.cells()
+        self.adversaries = spec.effective_adversaries()
+        self.selectors = spec.coalition_selectors()
+        self._mechanism = None
+        self._per_seed: Dict[int, Dict[str, Any]] = {}
+        self._auctioneers: Dict[Tuple[int, int], DistributedAuctioneer] = {}
+        self._honest: Dict[Tuple[int, int], SimulationReport] = {}
+
+    # -- memoised components ------------------------------------------------------
+    @property
+    def mechanism(self):
+        if self._mechanism is None:
+            self._mechanism = build_mechanism(self.spec.base)
+        return self._mechanism
+
+    def _seed_state(self, instance: int) -> Dict[str, Any]:
+        state = self._per_seed.get(instance)
+        if state is not None:
+            return state
+        seed = self.spec.effective_seeds()[instance]
+        scenario = spec_with_overrides(self.spec.base, {"seed": seed})
+        topology = build_topology(scenario)
+        if topology is not None:
+            provider_ids = list(topology.gateways)
+            if len(provider_ids) != scenario.providers:
+                raise SpecError(
+                    "base.topology",
+                    f"topology produced {len(provider_ids)} gateways "
+                    f"for providers={scenario.providers}",
+                )
+        else:
+            provider_ids = default_provider_ids(scenario.providers)
+        executor_ids = (
+            provider_ids[: scenario.executors]
+            if scenario.executors is not None
+            else provider_ids
+        )
+        workload = build_workload(scenario)
+        bids = workload.generate(
+            scenario.users, scenario.providers, provider_ids=provider_ids, instance=0
+        )
+        state = {
+            "scenario": scenario,
+            "latency": build_latency_model(scenario, topology),
+            "executor_ids": executor_ids,
+            "bids": bids,
+            "coalitions": [
+                self._resolve_coalition(selectors, executor_ids, index)
+                for index, selectors in enumerate(self.selectors)
+            ],
+        }
+        self._per_seed[instance] = state
+        return state
+
+    def _resolve_coalition(
+        self, selectors: CoalitionSelector, executor_ids: Sequence[str], index: int
+    ) -> Tuple[str, ...]:
+        members: List[str] = []
+        known = set(executor_ids)
+        for j, member in enumerate(selectors):
+            path = f"coalitions[{index}][{j}]"
+            if isinstance(member, int):
+                if member >= len(executor_ids):
+                    raise SpecError(
+                        path,
+                        f"executor index {member} out of range for "
+                        f"{len(executor_ids)} executors",
+                    )
+                member = executor_ids[member]
+            elif member not in known:
+                raise SpecError(
+                    path,
+                    f"unknown provider id {member!r}; executing providers: "
+                    f"{', '.join(executor_ids)}",
+                )
+            if member in members:
+                raise SpecError(path, f"provider {member!r} selected twice in one coalition")
+            members.append(member)
+        if len(members) >= len(executor_ids):
+            raise SpecError(
+                f"coalitions[{index}]",
+                "a coalition must leave at least one honest executor",
+            )
+        return tuple(members)
+
+    def auctioneer(self, schedule_index: int, instance: int) -> DistributedAuctioneer:
+        key = (schedule_index, instance)
+        auctioneer = self._auctioneers.get(key)
+        if auctioneer is None:
+            state = self._seed_state(instance)
+            scenario: ScenarioSpec = state["scenario"]
+            scheduler = SCHEDULERS.create(
+                self.spec.schedules[schedule_index], f"schedules[{schedule_index}]"
+            )
+            auctioneer = DistributedAuctioneer(
+                self.mechanism,
+                providers=state["executor_ids"],
+                config=scenario.config.to_config(),
+                latency_model=state["latency"],
+                scheduler=scheduler,
+                seed=scenario.seed,
+                measure_compute=scenario.measure_compute,
+            )
+            self._auctioneers[key] = auctioneer
+        return auctioneer
+
+    def honest(self, schedule_index: int, instance: int) -> SimulationReport:
+        """The honest baseline — solved once per ``(schedule, seed)`` group."""
+        key = (schedule_index, instance)
+        report = self._honest.get(key)
+        if report is None:
+            state = self._seed_state(instance)
+            report = self.auctioneer(schedule_index, instance).run_from_bids(state["bids"])
+            self._honest[key] = report
+        return report
+
+    # -- cells ---------------------------------------------------------------------
+    def run_cell(self, point: int, instance: int) -> ResilienceRecord:
+        """Run one ``(schedule x coalition x adversary) x seed`` cell."""
+        schedule_index, coalition_index, adversary_index = self.cells[point]
+        state = self._seed_state(instance)
+        scenario: ScenarioSpec = state["scenario"]
+        bids = state["bids"]
+        members: Tuple[str, ...] = state["coalitions"][coalition_index]
+        adversary = self.adversaries[adversary_index]
+        deviant_factory = ADVERSARIES.create(
+            adversary.component(), f"adversaries[{adversary_index}]"
+        )
+        auctioneer = self.auctioneer(schedule_index, instance)
+        honest = self.honest(schedule_index, instance)
+
+        coalition = Coalition.of(members, deviant_factory)
+        deviating = auctioneer.run(
+            auctioneer.consistent_inputs(bids),
+            expected_users=[u.user_id for u in bids.users],
+            node_factory=coalition.factory(),
+        )
+
+        gains: Dict[str, float] = {}
+        for member in members:
+            honest_utility = outcome_provider_utility(bids, honest.outcome, member)
+            deviating_utility = outcome_provider_utility(bids, deviating.outcome, member)
+            gains[member] = deviating_utility - honest_utility
+        max_gain = max(gains.values())
+        altered = _altered_result(honest, deviating)
+
+        return ResilienceRecord(
+            name=self.spec.name,
+            mechanism=self.mechanism.name,
+            schedule=self.spec.schedules[schedule_index].kind,
+            adversary=adversary.kind,
+            label=adversary.display_label,
+            coalition=tuple(sorted(members)),
+            users=scenario.users,
+            providers=scenario.providers,
+            executors=len(state["executor_ids"]),
+            k=scenario.config.k,
+            audit_k=self.spec.effective_k(),
+            instance=instance,
+            seed=scenario.seed,
+            honest_aborted=honest.outcome.aborted,
+            deviating_aborted=deviating.outcome.aborted,
+            altered_result=altered,
+            profitable=any(gain > PROFIT_TOLERANCE for gain in gains.values()),
+            max_gain=max_gain,
+            member_gains=gains,
+            honest_messages=honest.outcome.messages,
+            deviating_messages=deviating.outcome.messages,
+            honest_elapsed=honest.outcome.elapsed_time,
+            deviating_elapsed=deviating.outcome.elapsed_time,
+        )
+
+    # -- lifecycle ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources the context created (idempotent)."""
+        mechanism, self._mechanism = self._mechanism, None
+        if mechanism is not None:
+            close = getattr(mechanism, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "AuditContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _altered_result(honest: SimulationReport, deviating: SimulationReport) -> bool:
+    """Definition 2's influence check: a different *valid* outcome (not just ⊥)."""
+    if deviating.outcome.aborted:
+        return False
+    if honest.outcome.aborted:
+        return True
+    return deviating.outcome.result != honest.outcome.result
+
+
+def execute_cells(
+    spec: ResilienceSpec, cells: Sequence[Tuple[int, int]]
+) -> Iterator[Tuple[int, int, ResilienceRecord]]:
+    """Run the given ``(point, instance)`` cells through one audit context.
+
+    Shared by the sequential path and the parallel workers
+    (:func:`repro.scenarios.resilience_parallel.execute_chunk`), so the two
+    cannot drift apart on how components are resolved or baselines memoised.
+    Cells are executed grouped by ``(schedule, seed)`` so each group's honest
+    baseline is solved exactly once, whatever order the caller passed.
+    """
+    grid = spec.cells()
+    ordered = sorted(cells, key=lambda cell: (grid[cell[0]][0], cell[1], cell[0]))
+    with AuditContext(spec) as context:
+        for point, instance in ordered:
+            yield point, instance, context.run_cell(point, instance)
+
+
+def run_resilience(
+    spec: ResilienceSpec,
+    *,
+    workers: Optional[int] = None,
+    store=None,
+    resume: bool = False,
+) -> ResilienceResult:
+    """Run the full audit grid and collect the records in grid order.
+
+    Args:
+        spec: the audit specification.
+        workers: run cells in a pool of this many worker processes
+            (``None``/``1`` = sequential, in-process).  Chunks are grouped by
+            ``(schedule, seed)`` so the honest-baseline memoisation survives
+            chunking; verdicts are bit-identical to the sequential path on all
+            deterministic fields, in the same grid order.
+        store: a results journal — a path (``str``/``PathLike``) or a
+            :class:`~repro.scenarios.store.ResultsStore` — appended to as cells
+            complete.  The journal doubles as the audit artifact and as the
+            checkpoint for ``resume``.
+        resume: with ``store``, skip cells the journal already holds (its
+            manifest must match this audit) and run only the missing ones.
+    """
+    if workers is not None and workers < 1:
+        raise SpecError("workers", f"workers must be a positive integer, got {workers}")
+    # Resolve every registry reference up front (and discard the results): a
+    # typo'd adversary kind or bad parameter fails with its path-precise
+    # SpecError here, before any journal is opened or simulation runs.
+    for index, adversary in enumerate(spec.effective_adversaries()):
+        ADVERSARIES.create(adversary.component(), f"adversaries[{index}]")
+    for index, schedule in enumerate(spec.schedules):
+        SCHEDULERS.create(schedule, f"schedules[{index}]")
+    cells = spec.cells()
+    seeds = spec.effective_seeds()
+
+    journal = _as_store(store)
+    completed: Dict[Tuple[int, int], ResilienceRecord] = {}
+    if journal is not None:
+        completed = journal.begin(
+            spec,
+            total_rounds=len(cells) * len(seeds),
+            resume=resume,
+            fingerprint=resilience_fingerprint(spec),
+        )
+
+    pending = [
+        (point, instance)
+        for point in range(len(cells))
+        for instance in range(len(seeds))
+        if (point, instance) not in completed
+    ]
+    fresh: Dict[Tuple[int, int], ResilienceRecord] = {}
+    try:
+        if workers is not None and workers > 1 and pending:
+            from repro.scenarios.resilience_parallel import execute_parallel
+
+            stream = execute_parallel(spec, pending, workers)
+        else:
+            stream = execute_cells(spec, pending)
+        try:
+            for point, instance, record in stream:
+                fresh[(point, instance)] = record
+                if journal is not None:
+                    journal.append(point, instance, record)
+        finally:
+            stream.close()
+    finally:
+        if journal is not None:
+            journal.close()
+
+    result = ResilienceResult(
+        name=spec.name,
+        base=spec_to_dict(spec.base),
+        executed_cells=len(fresh),
+        resumed_cells=len(completed),
+    )
+    for point in range(len(cells)):
+        for instance in range(len(seeds)):
+            record = fresh.get((point, instance))
+            if record is None:
+                record = completed[(point, instance)]
+            result.records.append(record)
+    return result
+
+
+def _as_store(store):
+    if store is None:
+        return None
+    from repro.scenarios.store import ResultsStore
+
+    if isinstance(store, ResultsStore):
+        store.record_type = ResilienceRecord
+        return store
+    return ResultsStore(store, record_type=ResilienceRecord)

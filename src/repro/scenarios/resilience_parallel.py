@@ -1,0 +1,107 @@
+"""Parallel resilience audits: coalition-deviation cells in a process pool.
+
+The same chunking machinery as the parallel sweep executor
+(:mod:`repro.scenarios.parallel`), specialised to the audit grid: cells are
+grouped into chunks by their ``(schedule, seed)`` baseline-sharing key, and
+each chunk runs in one worker through the same :class:`~repro.scenarios
+.resilience.AuditContext` the sequential path uses — so each worker solves the
+honest baseline once per ``(schedule, seed)`` group it holds, exactly as the
+sequential loop does globally.  When load balancing splits a group across
+chunks, the extra workers recompute a baseline that is bit-identical (the
+simulation is a pure function of ``(mechanism, workload, schedule, seed)``),
+so chunking can never change a verdict — only wall-clock.
+
+Workers rehydrate the audit from a ``resilience_to_dict`` payload: nothing but
+JSON-shaped data crosses the process boundary, and every result is a plain
+frozen :class:`~repro.scenarios.resilience.ResilienceRecord`.  Results stream
+back in completion order carrying their ``(point, instance)`` key; the caller
+(:func:`~repro.scenarios.resilience.run_resilience`) reassembles deterministic
+grid order regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.scenarios.parallel import CHUNKS_PER_WORKER, _pool_context
+from repro.scenarios.resilience import (
+    ResilienceRecord,
+    ResilienceSpec,
+    execute_cells,
+    resilience_from_dict,
+    resilience_to_dict,
+)
+
+__all__ = ["chunk_cells", "execute_chunk", "execute_parallel"]
+
+#: One unit of worker work: the (grid point, seed instance) of a cell.
+CellTask = Tuple[int, int]
+
+
+def chunk_cells(
+    spec: ResilienceSpec, cells: List[CellTask], workers: int
+) -> List[List[CellTask]]:
+    """Group pending audit cells into worker chunks.
+
+    Cells sharing a ``(schedule, seed)`` baseline start out in one chunk, then
+    the largest chunks are split toward ``workers * CHUNKS_PER_WORKER`` total —
+    an audit with one schedule and one seed (the common case) would otherwise
+    serialise.  Splitting only costs a bit-identical baseline recomputation in
+    the extra workers; it never changes a verdict.
+    """
+    grid = spec.cells()
+    grouped: Dict[Tuple[int, int], List[CellTask]] = {}
+    for point, instance in cells:
+        grouped.setdefault((grid[point][0], instance), []).append((point, instance))
+    chunks = list(grouped.values())
+    while len(chunks) < workers * CHUNKS_PER_WORKER:
+        largest = max(chunks, key=len, default=None)
+        if largest is None or len(largest) < 2:
+            break
+        chunks.remove(largest)
+        middle = (len(largest) + 1) // 2
+        chunks.append(largest[:middle])
+        chunks.append(largest[middle:])
+    return chunks
+
+
+def execute_chunk(
+    payload: Dict[str, Any], cells: List[CellTask]
+) -> List[Tuple[int, int, ResilienceRecord]]:
+    """Worker body: run one chunk through a fresh audit context.
+
+    ``execute_cells`` closes its context (and any engine pools the mechanism
+    holds) in a ``finally``, even when a cell raises mid-chunk.
+    """
+    spec = resilience_from_dict(payload)
+    return list(execute_cells(spec, cells))
+
+
+def execute_parallel(
+    spec: ResilienceSpec, cells: List[CellTask], workers: int
+) -> Iterator[Tuple[int, int, ResilienceRecord]]:
+    """Run pending audit cells in a process pool, yielding records as they land.
+
+    Yields ``(point, instance, record)`` in *completion* order — the caller
+    owns grid-order reassembly (and journaling, which wants completion order
+    anyway).  A worker exception cancels the not-yet-started chunks and
+    re-raises in the parent; records of chunks that already completed have
+    been yielded (and journaled) by then, so a resumed audit only repeats the
+    unfinished chunks.
+    """
+    chunks = chunk_cells(spec, cells, workers)
+    if not chunks:
+        return
+    payload = resilience_to_dict(spec)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)), mp_context=_pool_context()
+    ) as pool:
+        futures = [pool.submit(execute_chunk, payload, chunk) for chunk in chunks]
+        try:
+            for future in as_completed(futures):
+                yield from future.result()
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise

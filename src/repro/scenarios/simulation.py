@@ -196,6 +196,45 @@ class Simulation:
         )
         return run_sweep(sweep_spec, workers=workers, store=store, resume=resume)
 
+    def audit_resilience(
+        self,
+        adversaries: Optional[Iterable[Any]] = None,
+        coalitions: Optional[Iterable[Any]] = None,
+        k: Optional[int] = None,
+        schedules: Iterable[Any] = ("fair",),
+        seeds: Optional[Iterable[int]] = None,
+        max_coalitions: Optional[int] = None,
+        name: Optional[str] = None,
+        *,
+        workers: Optional[int] = None,
+        store=None,
+        resume: bool = False,
+    ):
+        """Audit the paper's k-resilience claim around this scenario.
+
+        Builds a :class:`~repro.scenarios.resilience.ResilienceSpec` with this
+        scenario as the honest baseline and runs the full
+        ``(schedule x coalition x deviation) x seed`` grid through
+        :func:`~repro.scenarios.resilience.run_resilience` — sequentially, or
+        in a ``workers``-process pool with journaled resume, bit-identical to
+        the sequential path on all deterministic fields.  With no arguments it
+        audits every coalition up to the scenario's configured ``k`` against
+        the built-in deviation library under the fair schedule.
+        """
+        from repro.scenarios.resilience import ResilienceSpec, run_resilience
+
+        spec = ResilienceSpec(
+            name=name if name is not None else f"{self.spec.name}-resilience",
+            base=self.spec,
+            k=k,
+            coalitions=tuple(coalitions) if coalitions else (),
+            max_coalitions=max_coalitions,
+            adversaries=tuple(adversaries) if adversaries else (),
+            schedules=tuple(schedules),
+            seeds=tuple(seeds) if seeds else (),
+        )
+        return run_resilience(spec, workers=workers, store=store, resume=resume)
+
 
 def run_file(path, overrides: Optional[Mapping[str, Any]] = None):
     """Run whatever spec the file holds: a scenario (one round) or a sweep.

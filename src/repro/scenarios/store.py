@@ -1,7 +1,12 @@
 """Persistent sweep results: an append-only JSONL journal with a manifest.
 
 One :class:`ResultsStore` file is both the sweep's durable artifact and its
-checkpoint.  The format is one JSON object per line:
+checkpoint.  The same machinery journals resilience audits
+(:mod:`repro.scenarios.resilience`): the store is parametrised by a record
+type (any class with a lossless ``to_dict``/``from_dict`` pair — default
+:class:`~repro.scenarios.runner.RunRecord`) and by the manifest fingerprint,
+which sweeps derive from the sweep spec and audits from the resilience spec.
+The format is one JSON object per line:
 
 * line 1 — the manifest::
 
@@ -55,22 +60,34 @@ class ResultsStore:
 
     VERSION = 1
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self, path: Union[str, os.PathLike], record_type=RunRecord
+    ) -> None:
         self.path = os.fspath(path)
+        self.record_type = record_type
         self._handle = None
 
     # -- lifecycle -----------------------------------------------------------------
     def begin(
-        self, sweep: SweepSpec, total_rounds: int, *, resume: bool = False
-    ) -> Dict[RoundKey, RunRecord]:
-        """Open the journal for this sweep and return the rounds it already holds.
+        self,
+        sweep,
+        total_rounds: int,
+        *,
+        resume: bool = False,
+        fingerprint: Optional[str] = None,
+    ) -> Dict[RoundKey, Any]:
+        """Open the journal for this run and return the rounds it already holds.
 
         A fresh path gets a manifest line; an existing journal requires
-        ``resume=True`` (guarding against accidentally mixing two sweeps into
-        one artifact) and a manifest matching the sweep about to run.
+        ``resume=True`` (guarding against accidentally mixing two runs into
+        one artifact) and a manifest matching the run about to start.
+        ``sweep`` is the manifest owner — a :class:`SweepSpec` by default, or
+        any named spec when ``fingerprint`` is supplied by the caller (the
+        resilience executor passes its own audit fingerprint).
         """
-        fingerprint = sweep_fingerprint(sweep)
-        completed: Dict[RoundKey, RunRecord] = {}
+        if fingerprint is None:
+            fingerprint = sweep_fingerprint(sweep)
+        completed: Dict[RoundKey, Any] = {}
         if os.path.exists(self.path):
             if not resume:
                 raise SpecError(
@@ -97,7 +114,7 @@ class ResultsStore:
             )
         return completed
 
-    def append(self, point: int, instance: int, record: RunRecord) -> None:
+    def append(self, point: int, instance: int, record) -> None:
         """Journal one completed round (flushed immediately)."""
         if self._handle is None:
             raise SpecError(self.path, "results journal is not open; call begin() first")
@@ -125,7 +142,7 @@ class ResultsStore:
     # -- reading -------------------------------------------------------------------
     def read(
         self, expected_fingerprint: Optional[str] = None
-    ) -> Tuple[Dict[str, Any], Dict[RoundKey, RunRecord]]:
+    ) -> Tuple[Dict[str, Any], Dict[RoundKey, Any]]:
         """Load the journal: its manifest and the records it holds.
 
         With ``expected_fingerprint``, the manifest must match it — the
@@ -170,13 +187,13 @@ class ResultsStore:
                 "or grid changed since the journal was written); choose a new "
                 "output path for the changed sweep",
             )
-        completed: Dict[RoundKey, RunRecord] = {}
+        completed: Dict[RoundKey, Any] = {}
         for entry in entries[1:]:
             if not isinstance(entry, dict) or entry.get("kind") != "record":
                 continue  # unknown line kinds: written by a newer build, skip
             try:
                 key = (int(entry["point"]), int(entry["instance"]))
-                completed[key] = RunRecord.from_dict(entry["record"])
+                completed[key] = self.record_type.from_dict(entry["record"])
             except (KeyError, TypeError, ValueError) as exc:
                 raise SpecError(
                     self.path, f"corrupt results journal: malformed record line ({exc})"

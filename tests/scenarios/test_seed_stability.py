@@ -1,0 +1,106 @@
+"""Seed-stability regression: scenario-layer records are pure functions of seeds.
+
+Extends the PR-4 pattern (``tests/net/test_scheduler.py``'s PYTHONHASHSEED
+regression) to the scenario layer: with ``measure_compute=false`` the
+deterministic fields of :class:`RunRecord` and :class:`ResilienceRecord` —
+which with virtual clocks is *every* field — must be byte-identical
+
+* across two in-process runs (no hidden state leaks between runs), and
+* across interpreter invocations with different ``PYTHONHASHSEED`` values
+  (no set/dict-iteration order anywhere in the workload, protocol, audit or
+  record serialization paths).
+
+Byte-identical means the canonical JSON of the records, which is exactly what
+the results journal persists and the resume path compares against.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+#: Runs one tiny scenario and one tiny audit, prints their canonical JSON.
+_SCRIPT = """\
+import json, sys
+sys.path.insert(0, sys.argv[1])
+from repro.scenarios import ScenarioSpec, Simulation
+from repro.scenarios.resilience import ResilienceSpec, run_resilience
+
+spec = ScenarioSpec(
+    name="stability", mechanism="double", users=8, providers=4,
+    config={"k": 1}, latency="constant", seed=3, measure_compute=False,
+)
+with Simulation(spec) as sim:
+    run_payload = sim.run().to_dict()
+
+audit = ResilienceSpec(
+    name="stability-audit", base=spec, k=1,
+    adversaries=("equivocate", {"kind": "tamper_output", "bonus": 5.0}),
+    schedules=("fair", "round_robin"), seeds=(3, 4),
+)
+audit_payload = [r.to_dict() for r in run_resilience(audit).records]
+print(json.dumps({"run": run_payload, "audit": audit_payload}, sort_keys=True))
+"""
+
+
+def _run_in_subprocess(hash_seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, SRC],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+class TestSeedStability:
+    def test_records_identical_across_in_process_runs(self):
+        from repro.scenarios import ScenarioSpec, Simulation
+        from repro.scenarios.resilience import ResilienceSpec, run_resilience
+
+        spec = ScenarioSpec(
+            name="stability",
+            mechanism="double",
+            users=8,
+            providers=4,
+            config={"k": 1},
+            latency="constant",
+            seed=3,
+            measure_compute=False,
+        )
+
+        def run_once():
+            with Simulation(spec) as sim:
+                record = sim.run()
+            audit = ResilienceSpec(
+                name="stability-audit",
+                base=spec,
+                k=1,
+                adversaries=("equivocate",),
+                schedules=("fair",),
+            )
+            result = run_resilience(audit)
+            return json.dumps(
+                {
+                    "run": record.to_dict(),
+                    "audit": [r.to_dict() for r in result.records],
+                },
+                sort_keys=True,
+            )
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+    def test_records_identical_across_hash_seeds(self):
+        first = _run_in_subprocess("1")
+        second = _run_in_subprocess("4242")
+        assert first  # the scenario actually produced records
+        payload = json.loads(first)
+        assert payload["audit"], "the audit ran no cells"
+        assert not payload["run"]["aborted"]
+        assert first == second
