@@ -19,6 +19,10 @@ import pytest
 from repro.auctions.engine import ENGINES, clear_solve_cache
 from repro.bench.harness import Figure5Experiment
 
+#: Defense in depth next to the conftest auto-marker: the bench marker
+#: must survive this file being run from outside the benchmarks rootdir.
+pytestmark = pytest.mark.bench
+
 N_VALUES = (25, 50, 75, 100, 125)
 P_VALUES = (1, 2, 4)
 

@@ -16,6 +16,10 @@ from repro.auctions.standard_auction import StandardAuction
 from repro.auctions.vcg import ExactVCGAuction
 from repro.community.workload import DoubleAuctionWorkload, StandardAuctionWorkload
 
+#: Defense in depth next to the conftest auto-marker: the bench marker
+#: must survive this file being run from outside the benchmarks rootdir.
+pytestmark = pytest.mark.bench
+
 
 class TestDoubleAuctionMicro:
     @pytest.mark.parametrize("num_users", (100, 1000))

@@ -3,16 +3,17 @@
 One audit of the paper's headline claim — every coalition of size <= 2 out of
 5 providers (15 coalitions) x the four-deviation library x three seeds (180
 cells), honest baseline memoised per (schedule, seed) — timed sequentially and
-through the worker pool.  Verdicts are locked bit-identical by
-``tests/gametheory/test_resilience_parallel.py``, so this benchmark only
-tracks wall clock.
+under the default worker resolution (``workers="auto"``).  Verdicts are locked
+bit-identical by ``tests/gametheory/test_resilience_parallel.py``, so this
+benchmark only tracks wall clock.
 
 The export test writes ``BENCH_resilience.json`` — the game-theory counterpart
 of ``BENCH_sweep.json`` / ``BENCH_net.json``.  CI runs this file in quick mode
 (``--benchmark-disable``) and greps the summary line.  The >=2x speedup
-assertion is gated on host parallelism: a process pool cannot beat sequential
-on fewer cores than workers, and recording an honest number beats skipping the
-export.
+assertion is gated on host parallelism; on hosts where ``"auto"`` resolves to
+the sequential path no pool is launched at all, so the default configuration
+records a 1.0x speedup by construction instead of a sub-1x pool-overhead
+reading.
 """
 
 import json
@@ -25,6 +26,7 @@ from repro.bench.harness import (
     resilience_bench_spec,
     run_resilience_benchmark,
 )
+from repro.common import available_cpus
 from repro.scenarios.resilience import run_resilience
 
 pytestmark = pytest.mark.bench
@@ -50,17 +52,24 @@ def test_bench_resilience_sequential(benchmark):
     assert len(spec.coalition_selectors()) >= 8  # the audit is coalition-rich
 
 
-def test_bench_resilience_parallel_workers4(benchmark):
+def test_bench_resilience_workers_auto(benchmark):
+    # The shipping default: auto-resolved workers, sequential on one CPU,
+    # a real pool on multi-core hosts — never an oversubscribed one.
     spec = _audit_spec()
     result = benchmark.pedantic(
-        lambda: run_resilience(spec, workers=4), rounds=1, iterations=1
+        lambda: run_resilience(spec, workers="auto"), rounds=1, iterations=1
     )
+    benchmark.extra_info["available_cpus"] = available_cpus()
     assert result.is_resilient()
 
 
 def test_bench_resilience_artifact():
     payload = run_resilience_benchmark(
-        num_users=NUM_USERS, num_providers=NUM_PROVIDERS, k=AUDIT_K, workers=4, seeds=SEEDS
+        num_users=NUM_USERS,
+        num_providers=NUM_PROVIDERS,
+        k=AUDIT_K,
+        workers="auto",
+        seeds=SEEDS,
     )
     path = export_resilience_artifact(payload)
     assert os.path.exists(path)
@@ -69,9 +78,17 @@ def test_bench_resilience_artifact():
     assert data["coalitions"] >= 8
     assert data["verdicts_identical"] is True
     assert data["resilient"] is True
-    assert "speedup" in data and data["speedup"] > 0
+    assert data["workers_requested"] == "auto"
+    assert 1 <= data["workers_resolved"] <= data["cpu_count"]
+    # The default configuration never reports pool overhead as a slowdown:
+    # either a real pool ran on real cores, or no pool ran and speedup is 1.0.
+    assert data["speedup"] >= 1.0 or data["workers_resolved"] > 1, data["summary"]
+    if data["workers_resolved"] == 1:
+        assert data["speedup"] == 1.0
+        assert data["backend"] == "serial"
+        assert data["wall_seconds_parallel"] is None
     # The 2x target needs real cores; on smaller hosts the artifact still
-    # records the honest measurement next to cpu_count.
-    if (os.cpu_count() or 1) >= 4:
+    # records the honest measurement next to the resolved worker count.
+    if data["workers_resolved"] >= 4:
         assert data["speedup"] >= 2.0, data["summary"]
     print(data["summary"])

@@ -20,6 +20,10 @@ import pytest
 from repro.bench.harness import export_sweep_artifact
 from repro.scenarios import ResultsStore, SweepSpec, run_sweep, spec_from_dict
 
+#: Defense in depth next to the conftest auto-marker: the bench marker
+#: must survive this file being run from outside the benchmarks rootdir.
+pytestmark = pytest.mark.bench
+
 
 def _bench_sweep() -> SweepSpec:
     base = spec_from_dict(

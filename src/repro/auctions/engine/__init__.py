@@ -17,8 +17,11 @@ payment re-solves:
 
 The engine contract — same integer seed ⇒ bit-identical allocation, welfare and
 payments as the reference implementation — is locked in by the differential suite
-``tests/auctions/test_engine_equivalence.py``; the default engine everywhere is
-``"reference"`` and is only switched per call site via :func:`resolve_engine`.
+``tests/auctions/test_engine_equivalence.py``.  That suite gated the default
+flip: :data:`DEFAULT_ENGINE` is now ``"vectorized"``, so every front door
+(scenario specs, ``AuctionRun``/``BatchAuctionRunner``, the figure sweeps, the
+CLI) runs the fast engine unless a call site opts back out with
+``engine="reference"`` — results are identical either way, only speed differs.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ __all__ = [
     "PivotExecutor",
     "VectorizedStandardAuction",
     "clear_solve_cache",
+    "engine_name",
     "make_standard_auction",
     "resolve_engine",
 ]
@@ -41,8 +45,10 @@ __all__ = [
 #: The engines a call site may select between.
 ENGINES = ("reference", "vectorized")
 
-#: The default stays "reference" (flipped only once the differential suite gates it).
-DEFAULT_ENGINE = "reference"
+#: The engine used when a call site does not choose one.  Flipped to
+#: "vectorized" once the differential suite gated bit-identical results;
+#: ``engine="reference"`` remains the escape hatch everywhere.
+DEFAULT_ENGINE = "vectorized"
 
 
 def make_standard_auction(engine: str = DEFAULT_ENGINE, **kwargs) -> StandardAuction:
@@ -61,19 +67,38 @@ def make_standard_auction(engine: str = DEFAULT_ENGINE, **kwargs) -> StandardAuc
     raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
 
+def engine_name(algorithm: AllocationAlgorithm) -> str:
+    """The engine that actually backs ``algorithm`` (``"reference"`` default).
+
+    Engine-aware mechanisms carry an ``engine`` class attribute
+    (:class:`VectorizedStandardAuction` says ``"vectorized"``); everything
+    else — the reference standard auction, the double auction, user-registered
+    mechanisms — reports ``"reference"``.  Records use this, not the requested
+    override, so artifacts state the engine that ran.
+    """
+    return getattr(algorithm, "engine", "reference")
+
+
 def resolve_engine(algorithm: AllocationAlgorithm, engine: str) -> AllocationAlgorithm:
     """Return ``algorithm`` re-targeted at the requested engine.
 
-    Only standard auctions have two engines; any other mechanism (e.g. the double
-    auction) is returned unchanged.  The returned mechanism carries over the exact
+    Only the stock standard auction has two engines; any other mechanism — the
+    double auction, user-registered mechanisms, and *subclasses* of
+    :class:`StandardAuction` that specialise behavior — is returned unchanged
+    (swapping a subclass for the stock vectorized engine would silently drop
+    its overrides, which matters now that the default engine is applied to
+    every mechanism).  The returned mechanism carries over the exact
     ``restarts`` count of the source (not just ``epsilon``), so the two engines
     stay seed-for-seed comparable even if the source clamped its restart count.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if not isinstance(algorithm, StandardAuction):
+    if type(algorithm) is StandardAuction:
+        is_vectorized = False
+    elif type(algorithm) is VectorizedStandardAuction:
+        is_vectorized = True
+    else:
         return algorithm
-    is_vectorized = isinstance(algorithm, VectorizedStandardAuction)
     if (engine == "vectorized") == is_vectorized:
         return algorithm
     replacement = make_standard_auction(

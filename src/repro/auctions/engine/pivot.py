@@ -20,14 +20,13 @@ outcome; determinism only depends on each re-solve's own seed.
 
 from __future__ import annotations
 
-import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.auctions.base import Allocation, BidVector
-from repro.common import stable_hash
+from repro.common import available_cpus, stable_hash
 
 __all__ = ["PivotExecutor", "SolveCache", "clear_solve_cache", "shared_solve_cache"]
 
@@ -123,6 +122,9 @@ class PivotExecutor:
         mode: ``"serial"`` (inline), ``"thread"``, ``"process"``, or ``"auto"`` —
             which picks ``"thread"`` on multi-core hosts and ``"serial"`` on
             single-core ones, where a pool only adds scheduling overhead.
+            Core counting is affinity-aware
+            (:func:`repro.common.available_cpus`): a cpuset-restricted
+            container counts the CPUs it may run on, not the machine's.
         max_workers: pool size (default: ``concurrent.futures``' own default).
 
     The pool is created lazily and reused across calls, so one executor can be
@@ -132,7 +134,9 @@ class PivotExecutor:
 
     def __init__(self, mode: str = "auto", max_workers: Optional[int] = None) -> None:
         if mode == "auto":
-            mode = "thread" if (os.cpu_count() or 1) > 1 else "serial"
+            # Affinity-aware: a container pinned to one core of a many-core
+            # host must resolve to "serial", whatever os.cpu_count() says.
+            mode = "thread" if available_cpus() > 1 else "serial"
         if mode not in ("serial", "thread", "process"):
             raise ValueError(f"unknown pivot executor mode {mode!r}")
         self.mode = mode

@@ -228,20 +228,27 @@ def run_resilience_benchmark(
     num_users: int = 120,
     num_providers: int = 5,
     k: int = 2,
-    workers: int = 4,
+    workers="auto",
     seeds: Sequence[int] = (0, 1, 2),
 ) -> Dict[str, object]:
-    """Measure the parallel resilience audit against the sequential path.
+    """Measure the resilience audit under the default worker resolution.
 
     Runs the :func:`resilience_bench_spec` audit once sequentially and once
-    through a ``workers``-process pool, checks the verdicts are bit-identical,
-    and reports both wall times plus the speedup.  The headline numbers of
-    ``BENCH_resilience.json``; the speedup is only meaningful on a host with
-    at least ``workers`` cores (``cpu_count`` is recorded next to it).
+    with the requested ``workers`` (default ``"auto"``), resolved through the
+    worker policy (:func:`repro.scenarios.dispatch.resolve_workers`): on a
+    single available CPU ``"auto"`` *is* the sequential path, so the default
+    configuration can never pay pool overhead, and the artifact records a
+    1.0x speedup by construction.  On multi-CPU hosts the resolved pool is
+    timed against the sequential run and the verdicts are checked
+    bit-identical.  ``workers_resolved``/``backend``/``cpu_count`` record
+    both sides of the resolution next to the headline numbers of
+    ``BENCH_resilience.json``.
     """
     import os
     import time
 
+    from repro.common import available_cpus
+    from repro.scenarios.dispatch import resolve_workers
     from repro.scenarios.resilience import run_resilience
 
     spec = resilience_bench_spec(
@@ -249,23 +256,37 @@ def run_resilience_benchmark(
     )
     coalitions = len(spec.coalition_selectors())
     cells = len(spec.cells()) * len(spec.effective_seeds())
+    plan = resolve_workers(workers)
 
     start = time.perf_counter()
     sequential = run_resilience(spec)
     sequential_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    parallel = run_resilience(spec, workers=workers)
-    parallel_seconds = time.perf_counter() - start
-
-    speedup = sequential_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
-    identical = sequential.records == parallel.records
+    if plan.parallel:
+        start = time.perf_counter()
+        parallel = run_resilience(spec, workers=workers)
+        parallel_seconds = time.perf_counter() - start
+        speedup = (
+            sequential_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+        )
+        identical = sequential.records == parallel.records
+        note = (
+            f"workers={plan.requested!r} resolved to {plan.workers} processes "
+            f"on {available_cpus()} available CPUs"
+        )
+    else:
+        # The default configuration resolved to the sequential path: there is
+        # no pool run to time, and the speedup is 1.0 by definition rather
+        # than a sub-1x pool-overhead reading.
+        parallel_seconds = None
+        speedup = 1.0
+        identical = True
+        note = (
+            f"workers={plan.requested!r} resolved to the sequential path "
+            f"({available_cpus()} available CPU); no pool was launched"
+        )
     return {
-        "note": (
-            f"speedup requires >= {workers} cores; on smaller hosts the pool "
-            "overhead dominates and the honest sub-1x ratio is recorded "
-            "alongside cpu_count"
-        ),
+        "note": note,
         "bench": "resilience-audit",
         "workload": "double-auction coalition-deviation audit",
         "users": num_users,
@@ -273,8 +294,11 @@ def run_resilience_benchmark(
         "audit_k": k,
         "coalitions": coalitions,
         "cells": cells,
-        "workers": workers,
-        "cpu_count": os.cpu_count(),
+        "workers_requested": plan.requested,
+        "workers_resolved": plan.workers,
+        "backend": plan.backend,
+        "cpu_count": available_cpus(),
+        "cpu_count_logical": os.cpu_count(),
         "wall_seconds_sequential": sequential_seconds,
         "wall_seconds_parallel": parallel_seconds,
         "speedup": speedup,
@@ -282,9 +306,11 @@ def run_resilience_benchmark(
         "resilient": sequential.is_resilient(),
         "summary": (
             f"BENCH_resilience: {cells} cells over {coalitions} coalitions, "
-            f"workers={workers}: {speedup:.1f}x vs sequential "
-            f"({parallel_seconds:.2f}s vs {sequential_seconds:.2f}s, "
-            f"{os.cpu_count()} cores), verdicts identical={identical}"
+            f"workers={plan.requested!r} -> {plan.workers} ({plan.backend}): "
+            f"{speedup:.1f}x vs sequential "
+            f"({sequential_seconds:.2f}s sequential, {available_cpus()} "
+            f"available CPU{'s' if available_cpus() != 1 else ''}), "
+            f"verdicts identical={identical}"
         ),
     }
 

@@ -39,7 +39,11 @@ every record to a JSONL results journal as it completes) and ``--resume``
 executes only the missing grid points).  One argparse-rooted caveat: next to ``--spec``, a flag
 explicitly set to its default value (e.g. ``--users 50``) is indistinguishable
 from an omitted flag and is ignored — use ``--set users=50`` to force a value
-that happens to coincide with a flag default.  ``fig4``/``fig5`` take no
+that happens to coincide with a flag default.  ``--workers auto`` sizes the
+pool from the CPUs the process may actually use (affinity-aware) and falls
+back to sequential execution on a single CPU; an explicit ``--workers N``
+larger than the available CPUs degrades to the available count with a stderr
+warning instead of oversubscribing.  ``fig4``/``fig5`` take no
 ``--spec`` (their grids *are* the shipped ``examples/specs/fig4.json`` /
 ``fig5.toml`` files; edit those and use ``sweep`` to vary them beyond the
 historical flags).
@@ -95,12 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     def add_grid_options(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--workers",
-            type=int,
+            type=_workers_argument,
             default=None,
-            metavar="N",
-            help="run grid points in an N-process pool (chunked by configuration "
-            "so engine state stays amortised; results are identical to a "
-            "sequential run on all deterministic fields, in the same order)",
+            metavar="N|auto",
+            help="run grid points in a worker-process pool: an explicit count "
+            "(degraded to the available CPUs with a warning if larger), or "
+            "'auto' to size from the CPUs this process may use (chunked by "
+            "configuration so engine state stays amortised; results are "
+            "identical to a sequential run on all deterministic fields, in "
+            "the same order)",
         )
         command.add_argument(
             "--output",
@@ -226,6 +233,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_grid_options(resilience)
 
     return parser
+
+
+def _workers_argument(value: str):
+    """Parse ``--workers``: a positive integer or the literal ``auto``.
+
+    Range/CPU validation happens in
+    :func:`repro.scenarios.dispatch.resolve_workers`; this only decides the
+    type so argparse produces a clean usage error for non-numeric garbage.
+    """
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
 
 
 # -------------------------------------------------------------- spec construction --

@@ -9,9 +9,26 @@ sentinel here — below every other package — keeps the dependency graph acycl
 from __future__ import annotations
 
 import hashlib
+import os
 from typing import Any
 
-__all__ = ["ABORT", "AbortType", "is_abort", "stable_hash"]
+__all__ = ["ABORT", "AbortType", "available_cpus", "is_abort", "stable_hash"]
+
+
+def available_cpus() -> int:
+    """The number of CPUs this process may actually run on (never 0).
+
+    ``os.cpu_count()`` reports the machine's logical cores, which overstates
+    what a containerized or affinity-restricted process can use — a CI runner
+    pinned to one core of a 64-core host would size pools 64 wide.  Prefer the
+    scheduling affinity mask where the platform exposes it; every pool-sizing
+    decision in this package (pivot executors, sweep/audit worker resolution)
+    goes through this helper.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
 
 
 def stable_hash(*parts: Any) -> int:

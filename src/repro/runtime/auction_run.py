@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.auctions.base import AllocationAlgorithm, BidVector
-from repro.auctions.engine import resolve_engine
+from repro.auctions.engine import DEFAULT_ENGINE, resolve_engine
 from repro.core.config import FrameworkConfig
 from repro.core.outcome import Outcome
 from repro.net.latency import LatencyModel
@@ -48,11 +48,15 @@ class AuctionRun:
         config: framework configuration.
         bidder_strategies: optional per-user strategy overrides (defaults: truthful).
         deadline: bid-collection deadline at the providers, in virtual seconds.
-        engine: ``None`` (default) runs ``algorithm`` exactly as given;
-            ``"reference"`` or ``"vectorized"`` re-targets standard auctions at
-            that execution engine (see
+        engine: the execution engine for standard auctions — defaults to the
+            library default (:data:`~repro.auctions.engine.DEFAULT_ENGINE`,
+            the vectorized engine).  Pass ``"reference"`` to force the
+            reference implementation, or ``None`` to run ``algorithm``
+            exactly as given (see
             :func:`repro.auctions.engine.resolve_engine`; both engines are
             seed-for-seed bit-identical, so the choice only affects speed).
+            A mechanism this run created by re-targeting is closed at the
+            end of :meth:`execute`; pre-resolved mechanisms stay untouched.
         latency_model / scheduler / seed / measure_compute: simulation parameters,
             passed through to :class:`~repro.net.network.SimNetwork`.
     """
@@ -64,7 +68,7 @@ class AuctionRun:
         config: Optional[FrameworkConfig] = None,
         bidder_strategies: Optional[Mapping[str, BidderStrategy]] = None,
         deadline: float = 1.0,
-        engine: Optional[str] = None,
+        engine: Optional[str] = DEFAULT_ENGINE,
         latency_model: Optional[LatencyModel] = None,
         scheduler: Optional[Scheduler] = None,
         seed: int = 0,
@@ -74,6 +78,9 @@ class AuctionRun:
         self.bids = bids
         self.engine = engine
         self.algorithm = resolve_engine(algorithm, engine) if engine is not None else algorithm
+        # If resolving created a fresh mechanism, this run owns its resources
+        # (the vectorized engine's pivot pool) and shuts them down after execute().
+        self._owns_algorithm = self.algorithm is not algorithm
         self.config = config if config is not None else FrameworkConfig()
         self.config.check_quorum(len(bids.providers))
         self.bidder_strategies = dict(bidder_strategies or {})
@@ -86,6 +93,17 @@ class AuctionRun:
 
     def execute(self, max_steps: int = 2_000_000) -> AuctionRunResult:
         """Run the round and return the combined outcome plus per-bidder observations."""
+        try:
+            return self._execute(max_steps)
+        finally:
+            # Engine pools are created lazily, so closing here is safe even if
+            # the run is executed again; pre-resolved mechanisms stay open.
+            if self._owns_algorithm:
+                close = getattr(self.algorithm, "close", None)
+                if close is not None:
+                    close()
+
+    def _execute(self, max_steps: int) -> AuctionRunResult:
         provider_ids = self.bids.provider_ids
         user_ids = self.bids.user_ids
         network = SimNetwork(

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.auctions.base import AllocationAlgorithm
-from repro.auctions.engine import resolve_engine
+from repro.auctions.engine import DEFAULT_ENGINE, resolve_engine
 from repro.community.workload import default_provider_ids
 from repro.core.config import FrameworkConfig
 from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer, SimulationReport
@@ -94,8 +94,11 @@ class BatchAuctionRunner:
         workload: a workload generator with the package's ``generate(num_users,
             num_providers, provider_ids=..., instance=...)`` signature.
         num_providers: providers (sellers) per round's workload.
-        engine: ``None`` (default) runs ``algorithm`` exactly as given;
-            ``"reference"``/``"vectorized"`` re-targets standard auctions.
+        engine: the execution engine for standard auctions — defaults to the
+            library default (:data:`~repro.auctions.engine.DEFAULT_ENGINE`,
+            the vectorized engine); ``"reference"`` forces the reference
+            implementation, ``None`` runs ``algorithm`` exactly as given.
+            Results are bit-identical whichever engine runs.
         config: framework configuration for distributed rounds; ``None`` runs the
             centralised baseline instead.
         executors: ids of the providers that execute the protocol; defaults to all
@@ -109,7 +112,7 @@ class BatchAuctionRunner:
         algorithm: AllocationAlgorithm,
         workload,
         num_providers: int = 8,
-        engine: Optional[str] = None,
+        engine: Optional[str] = DEFAULT_ENGINE,
         config: Optional[FrameworkConfig] = None,
         executors: Optional[Sequence[str]] = None,
         latency_model: Optional[LatencyModel] = None,

@@ -23,6 +23,12 @@ file is a complete new scenario.
 """
 
 from repro.scenarios.builtin import BUILTIN_SWEEPS, builtin_sweep, figure4_sweep, figure5_sweep
+from repro.scenarios.dispatch import (
+    EXECUTOR_BACKENDS,
+    ExecutorBackend,
+    WorkerPlan,
+    resolve_workers,
+)
 from repro.scenarios.io import (
     dump_resilience,
     dump_spec,
@@ -83,6 +89,8 @@ __all__ = [
     "ComponentCache",
     "ComponentSpec",
     "ConfigSpec",
+    "EXECUTOR_BACKENDS",
+    "ExecutorBackend",
     "LATENCIES",
     "MECHANISMS",
     "Registry",
@@ -99,6 +107,7 @@ __all__ = [
     "SweepSpec",
     "TOPOLOGIES",
     "WORKLOADS",
+    "WorkerPlan",
     "builtin_sweep",
     "dump_resilience",
     "dump_spec",
@@ -115,6 +124,7 @@ __all__ = [
     "resilience_from_dict",
     "resilience_to_dict",
     "resilience_with_overrides",
+    "resolve_workers",
     "run_file",
     "run_resilience",
     "run_scenario",

@@ -1,0 +1,246 @@
+"""Executor dispatch: worker resolution policy + pluggable chunk backends.
+
+Both parallel executors — the sweep pool (:mod:`repro.scenarios.parallel`) and
+the resilience-audit pool (:mod:`repro.scenarios.resilience_parallel`) — share
+the same execution shape: group work into amortisation-preserving chunks, run
+each chunk through a picklable worker function, stream results back in
+completion order, and let the caller reassemble deterministic grid order and
+journal per chunk.  This module owns that shape once:
+
+* :func:`resolve_workers` — the worker-count policy.  ``workers="auto"``
+  resolves from the CPUs this process may actually use
+  (:func:`repro.common.available_cpus`, affinity-aware); an explicit count
+  larger than that degrades to the available count with a stderr warning
+  instead of oversubscribing; a single available CPU resolves to the
+  sequential path, where a pool only adds overhead.
+* :class:`ExecutorBackend` — the dispatch interface.  ``"serial"`` and
+  ``"process"`` ship built in, registered in :data:`EXECUTOR_BACKENDS` exactly
+  like mechanism kinds in ``MECHANISMS``; a future multi-host work-queue
+  backend plugs in here without touching either executor.
+
+**The backend contract** (what any new backend must guarantee):
+
+1. *Chunk determinism* — a chunk is a pure function of its payload: the worker
+   rehydrates components from spec dicts and every component is bit-identical
+   however often it is rebuilt, so running a chunk anywhere (in-process, a
+   local worker, another host) yields identical records.
+2. *Journal-per-chunk* — results are yielded chunk by chunk as they complete;
+   the caller appends them to the results journal immediately, so a crash
+   loses at most the in-flight chunks.
+3. *Fingerprint-guarded resume* — backends only ever receive the *pending*
+   work items; the caller computed those against a journal whose manifest
+   fingerprint matched the spec.  A backend must neither reorder fields nor
+   rewrite records, or resumed runs would stop being bit-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Union
+
+from repro.common import available_cpus
+from repro.scenarios.registry import Registry
+from repro.scenarios.spec import ComponentSpec, SpecError
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "EXECUTOR_BACKENDS",
+    "ExecutorBackend",
+    "ProcessExecutorBackend",
+    "SerialExecutorBackend",
+    "WorkerPlan",
+    "create_backend",
+    "resolve_workers",
+    "split_chunks",
+]
+
+#: What callers may pass as ``workers``: nothing (sequential), an explicit
+#: positive count, or ``"auto"`` (size from the CPUs actually available).
+WorkerSpec = Union[None, int, str]
+
+#: Target chunk count per worker.  >1 for two reasons: load balancing (work
+#: items vary widely in cost across a grid) and checkpoint granularity — a
+#: chunk is the unit of result return, so it bounds how much work a crash can
+#: lose between journal appends under parallel execution.
+CHUNKS_PER_WORKER = 4
+
+
+# ------------------------------------------------------------- worker policy --
+@dataclass(frozen=True)
+class WorkerPlan:
+    """The resolved execution plan for one sweep/audit invocation.
+
+    ``workers`` is the resolved process count (1 for the sequential path);
+    ``backend`` names the :data:`EXECUTOR_BACKENDS` entry to dispatch through;
+    ``requested`` preserves what the caller asked for (``None``, an int, or
+    ``"auto"``) so artifacts can record both sides of the resolution.
+    """
+
+    requested: WorkerSpec
+    workers: int
+    backend: str
+    capped: bool = False
+
+    @property
+    def parallel(self) -> bool:
+        return self.backend != "serial" and self.workers > 1
+
+
+def resolve_workers(
+    workers: WorkerSpec,
+    *,
+    backend: Optional[str] = None,
+    path: str = "workers",
+) -> WorkerPlan:
+    """Resolve a requested worker count into a :class:`WorkerPlan`.
+
+    Policy:
+
+    * ``None`` or ``1`` — the sequential in-process path.
+    * ``"auto"`` — as many workers as CPUs this process may run on
+      (:func:`repro.common.available_cpus`); on a single available CPU this
+      *is* the sequential path, so pool overhead can never be the default.
+    * an explicit ``N > available CPUs`` — degrades to the available count
+      with a stderr warning instead of oversubscribing (``capped=True``).
+    * anything else (0, negatives, other strings) — :class:`SpecError`.
+
+    ``backend`` overrides the dispatch target for parallel plans (default
+    ``"process"``); the sequential fallback always plans ``"serial"``.
+    """
+    cpus = available_cpus()
+    capped = False
+    if workers is None:
+        count = 1
+    elif isinstance(workers, str):
+        if workers != "auto":
+            raise SpecError(
+                path, f"workers must be a positive integer or 'auto', got {workers!r}"
+            )
+        count = cpus
+    elif isinstance(workers, bool) or not isinstance(workers, int):
+        raise SpecError(
+            path, f"workers must be a positive integer or 'auto', got {workers!r}"
+        )
+    elif workers < 1:
+        raise SpecError(path, f"workers must be a positive integer, got {workers}")
+    else:
+        count = workers
+        if count > cpus:
+            capped = True
+            count = cpus
+            print(
+                f"workers: requested {workers} workers but only {cpus} "
+                f"CPU{'s are' if cpus != 1 else ' is'} available; running "
+                f"{count} to avoid oversubscription",
+                file=sys.stderr,
+            )
+    if count <= 1:
+        return WorkerPlan(requested=workers, workers=1, backend="serial", capped=capped)
+    return WorkerPlan(
+        requested=workers, workers=count, backend=backend or "process", capped=capped
+    )
+
+
+# ----------------------------------------------------------------- chunking --
+def split_chunks(chunks: List[List[Any]], target: int) -> List[List[Any]]:
+    """Split the largest chunks until there are ``target`` of them (or none splits).
+
+    Shared by both executors' chunkers: work items sharing an amortisation key
+    start out in one chunk, then the largest chunks are split toward
+    ``workers * CHUNKS_PER_WORKER`` total — a grid with fewer distinct keys
+    than workers would otherwise serialise.  Splitting is free in correctness
+    terms (chunk determinism, point 1 of the backend contract) and only trades
+    some cache sharing for parallelism, load balance and journal-checkpoint
+    granularity.  Indivisible chunks (single items) are never split, so the
+    grouping invariant of each chunker — all rounds of one grid point, all
+    cells of one ``(schedule, seed)`` cell — survives.
+    """
+    chunks = list(chunks)
+    while len(chunks) < target:
+        largest = max(chunks, key=len, default=None)
+        if largest is None or len(largest) < 2:
+            break
+        chunks.remove(largest)
+        middle = (len(largest) + 1) // 2
+        chunks.append(largest[:middle])
+        chunks.append(largest[middle:])
+    return chunks
+
+
+# ----------------------------------------------------------------- backends --
+class ExecutorBackend:
+    """Runs worker chunks and streams back their results (see module docstring).
+
+    ``execute`` receives the pre-built chunks, a picklable ``worker`` callable
+    (``worker(chunk) -> list of results``) and the resolved worker count; it
+    yields individual results in whatever order chunks complete.  The caller
+    owns order reassembly and journaling.
+    """
+
+    def execute(
+        self,
+        chunks: List[List[Any]],
+        worker: Callable[[List[Any]], List[Any]],
+        workers: int,
+    ) -> Iterator[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - stateless built-ins
+        """Release backend resources (idempotent); built-ins hold none."""
+
+
+class SerialExecutorBackend(ExecutorBackend):
+    """Run every chunk inline, in order — the degenerate one-worker backend."""
+
+    def execute(self, chunks, worker, workers: int = 1) -> Iterator[Any]:
+        for chunk in chunks:
+            yield from worker(chunk)
+
+
+class ProcessExecutorBackend(ExecutorBackend):
+    """Run chunks in a local ``ProcessPoolExecutor``, streaming completion order.
+
+    The pool prefers the ``fork`` start method where available, so workers
+    inherit runtime registrations (mechanism/workload kinds a calling program
+    registered after import).  On spawn-only platforms, custom kinds must be
+    registered at import time of a module the workers also import.  A worker
+    exception cancels the not-yet-started chunks and re-raises in the parent;
+    results of chunks that already completed have been yielded (and journaled)
+    by then, so a resumed run only repeats the unfinished chunks.
+    """
+
+    def execute(self, chunks, worker, workers: int) -> Iterator[Any]:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)), mp_context=_pool_context()
+        ) as pool:
+            futures = [pool.submit(worker, chunk) for chunk in chunks]
+            try:
+                for future in as_completed(futures):
+                    yield from future.result()
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+
+
+def _pool_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (Windows, some macOS configs)
+        return None
+
+
+#: Executor backends by name, registered exactly like mechanism kinds.  A
+#: multi-host backend registers here and becomes reachable from every sweep
+#: and audit via ``resolve_workers(..., backend="<kind>")``.
+EXECUTOR_BACKENDS = Registry("executor backend")
+EXECUTOR_BACKENDS.register("serial", SerialExecutorBackend)
+EXECUTOR_BACKENDS.register("process", ProcessExecutorBackend)
+
+
+def create_backend(kind: str, path: str = "workers.backend") -> ExecutorBackend:
+    """Build the named backend, with a path-precise error for unknown kinds."""
+    return EXECUTOR_BACKENDS.create(ComponentSpec(kind), path)

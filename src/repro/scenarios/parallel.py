@@ -1,4 +1,4 @@
-"""Parallel sweep execution: grid points dispatched to a process pool.
+"""Parallel sweep execution: grid points dispatched through an executor backend.
 
 Grid points are grouped into chunks by their ``(mechanism, workload,
 topology)`` cache key, and each chunk runs in one worker through the same
@@ -18,20 +18,20 @@ every component is a pure function of its spec (bit-identical however often
 it is rebuilt — the engine-equivalence contract), records are bit-identical
 to a sequential run on every deterministic field.
 
-The pool prefers the ``fork`` start method where available, so workers
-inherit runtime registrations (mechanism/workload kinds a calling program
-registered after import).  On spawn-only platforms, custom kinds must be
-registered at import time of a module the workers also import.
+Chunk execution itself is delegated to a pluggable
+:class:`~repro.scenarios.dispatch.ExecutorBackend` (``"process"`` by
+default); the chunking, worker body and reassembly here are exactly the
+backend contract's "chunk determinism" and "journal-per-chunk" pieces.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import functools
 import pickle
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.net.latency import LatencyModel
+from repro.scenarios.dispatch import CHUNKS_PER_WORKER, create_backend, split_chunks
 from repro.scenarios.runner import RunRecord
 from repro.scenarios.spec import ScenarioSpec, SpecError, spec_from_dict, spec_to_dict
 from repro.scenarios.sweep import (
@@ -57,24 +57,15 @@ def amortisation_key(spec: ScenarioSpec) -> Tuple[Any, ...]:
     )
 
 
-#: Target chunk count per worker.  >1 for two reasons: load balancing (points
-#: vary widely in cost across a grid) and checkpoint granularity — a chunk is
-#: the unit of result return, so it bounds how much work a crash can lose
-#: between journal appends under parallel execution.
-CHUNKS_PER_WORKER = 4
-
-
 def chunk_tasks(tasks, workers: int) -> List[List[ChunkTask]]:
     """Group pending grid points into worker chunks.
 
     Points sharing an amortisation key start out in one chunk, then the
-    largest chunks are split toward ``workers * CHUNKS_PER_WORKER`` total —
-    a grid with fewer distinct keys than workers (e.g. Figure 4: one
-    mechanism configuration for the whole grid) would otherwise serialise.
-    Splitting is free in correctness terms (components are bit-identical
-    however often they are rebuilt) and only trades some cache sharing for
-    parallelism, load balance and journal-checkpoint granularity.  All
-    rounds of one grid point always stay in one chunk.
+    largest chunks are split toward ``workers * CHUNKS_PER_WORKER`` total
+    (:func:`~repro.scenarios.dispatch.split_chunks`) — a grid with fewer
+    distinct keys than workers (e.g. Figure 4: one mechanism configuration
+    for the whole grid) would otherwise serialise.  All rounds of one grid
+    point always stay in one chunk.
     """
     grouped: Dict[Tuple[Any, ...], List[ChunkTask]] = {}
     for index, spec, instances in tasks:
@@ -83,16 +74,7 @@ def chunk_tasks(tasks, workers: int) -> List[List[ChunkTask]]:
         grouped.setdefault(amortisation_key(spec), []).append(
             (index, spec_to_dict(spec), list(instances))
         )
-    chunks = list(grouped.values())
-    while len(chunks) < workers * CHUNKS_PER_WORKER:
-        largest = max(chunks, key=len, default=None)
-        if largest is None or len(largest) < 2:
-            break
-        chunks.remove(largest)
-        middle = (len(largest) + 1) // 2
-        chunks.append(largest[:middle])
-        chunks.append(largest[middle:])
-    return chunks
+    return split_chunks(list(grouped.values()), workers * CHUNKS_PER_WORKER)
 
 
 def execute_chunk(
@@ -116,16 +98,19 @@ def execute_chunk(
 
 
 def execute_parallel(
-    tasks, workers: int, latency_model: Optional[LatencyModel] = None
+    tasks,
+    workers: int,
+    latency_model: Optional[LatencyModel] = None,
+    backend: str = "process",
 ) -> Iterator[Tuple[int, int, RunRecord]]:
-    """Run pending grid rounds in a process pool, yielding records as they land.
+    """Run pending grid rounds through an executor backend, yielding as they land.
 
     Yields ``(grid index, instance, record)`` in *completion* order — the
     caller owns grid-order reassembly (and journaling, which wants completion
-    order anyway).  A worker exception cancels the not-yet-started chunks and
-    re-raises in the parent; records of chunks that already completed have
-    been yielded (and journaled) by then, so a resumed run only repeats the
-    unfinished chunks.
+    order anyway).  ``backend`` names an
+    :data:`~repro.scenarios.dispatch.EXECUTOR_BACKENDS` entry; the default
+    local process pool cancels not-yet-started chunks on a worker exception,
+    so a resumed run only repeats the unfinished chunks.
     """
     if latency_model is not None:
         try:
@@ -140,21 +125,5 @@ def execute_parallel(
     chunks = chunk_tasks(tasks, workers)
     if not chunks:
         return
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(chunks)), mp_context=_pool_context()
-    ) as pool:
-        futures = [pool.submit(execute_chunk, chunk, latency_model) for chunk in chunks]
-        try:
-            for future in as_completed(futures):
-                yield from future.result()
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
-
-
-def _pool_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork (Windows, some macOS configs)
-        return None
+    worker = functools.partial(execute_chunk, latency_model=latency_model)
+    yield from create_backend(backend).execute(chunks, worker, workers)

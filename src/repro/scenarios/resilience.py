@@ -818,7 +818,8 @@ def execute_cells(
 def run_resilience(
     spec: ResilienceSpec,
     *,
-    workers: Optional[int] = None,
+    workers: Union[None, int, str] = None,
+    backend: Optional[str] = None,
     store=None,
     resume: bool = False,
 ) -> ResilienceResult:
@@ -826,11 +827,18 @@ def run_resilience(
 
     Args:
         spec: the audit specification.
-        workers: run cells in a pool of this many worker processes
-            (``None``/``1`` = sequential, in-process).  Chunks are grouped by
-            ``(schedule, seed)`` so the honest-baseline memoisation survives
-            chunking; verdicts are bit-identical to the sequential path on all
-            deterministic fields, in the same grid order.
+        workers: run cells in a pool of worker processes.  ``"auto"`` sizes
+            the pool from the CPUs this process may actually use; an explicit
+            count larger than that degrades to the available count with a
+            stderr warning; ``None``/``1`` (and any resolution landing on one
+            CPU) is the sequential, in-process path — see
+            :func:`~repro.scenarios.dispatch.resolve_workers`.  Chunks are
+            grouped by ``(schedule, seed)`` so the honest-baseline memoisation
+            survives chunking; verdicts are bit-identical to the sequential
+            path on all deterministic fields, in the same grid order.
+        backend: dispatch parallel chunks through a named
+            :data:`~repro.scenarios.dispatch.EXECUTOR_BACKENDS` entry instead
+            of the default local ``"process"`` pool.
         store: a results journal — a path (``str``/``PathLike``) or a
             :class:`~repro.scenarios.store.ResultsStore` — appended to as cells
             complete.  The journal doubles as the audit artifact and as the
@@ -838,8 +846,9 @@ def run_resilience(
         resume: with ``store``, skip cells the journal already holds (its
             manifest must match this audit) and run only the missing ones.
     """
-    if workers is not None and workers < 1:
-        raise SpecError("workers", f"workers must be a positive integer, got {workers}")
+    from repro.scenarios.dispatch import resolve_workers
+
+    plan = resolve_workers(workers, backend=backend)
     # Resolve every registry reference up front (and discard the results): a
     # typo'd adversary kind or bad parameter fails with its path-precise
     # SpecError here, before any journal is opened or simulation runs.
@@ -868,10 +877,10 @@ def run_resilience(
     ]
     fresh: Dict[Tuple[int, int], ResilienceRecord] = {}
     try:
-        if workers is not None and workers > 1 and pending:
+        if plan.parallel and pending:
             from repro.scenarios.resilience_parallel import execute_parallel
 
-            stream = execute_parallel(spec, pending, workers)
+            stream = execute_parallel(spec, pending, plan.workers, plan.backend)
         else:
             stream = execute_cells(spec, pending)
         try:

@@ -1,7 +1,7 @@
-"""Parallel resilience audits: coalition-deviation cells in a process pool.
+"""Parallel resilience audits: coalition-deviation cells through a backend.
 
-The same chunking machinery as the parallel sweep executor
-(:mod:`repro.scenarios.parallel`), specialised to the audit grid: cells are
+The same dispatch machinery as the parallel sweep executor
+(:mod:`repro.scenarios.dispatch`), specialised to the audit grid: cells are
 grouped into chunks by their ``(schedule, seed)`` baseline-sharing key, and
 each chunk runs in one worker through the same :class:`~repro.scenarios
 .resilience.AuditContext` the sequential path uses — so each worker solves the
@@ -21,10 +21,10 @@ grid order regardless of scheduling.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import functools
 from typing import Any, Dict, Iterator, List, Tuple
 
-from repro.scenarios.parallel import CHUNKS_PER_WORKER, _pool_context
+from repro.scenarios.dispatch import CHUNKS_PER_WORKER, create_backend, split_chunks
 from repro.scenarios.resilience import (
     ResilienceRecord,
     ResilienceSpec,
@@ -45,25 +45,17 @@ def chunk_cells(
     """Group pending audit cells into worker chunks.
 
     Cells sharing a ``(schedule, seed)`` baseline start out in one chunk, then
-    the largest chunks are split toward ``workers * CHUNKS_PER_WORKER`` total —
-    an audit with one schedule and one seed (the common case) would otherwise
-    serialise.  Splitting only costs a bit-identical baseline recomputation in
-    the extra workers; it never changes a verdict.
+    the largest chunks are split toward ``workers * CHUNKS_PER_WORKER`` total
+    (:func:`~repro.scenarios.dispatch.split_chunks`) — an audit with one
+    schedule and one seed (the common case) would otherwise serialise.
+    Splitting only costs a bit-identical baseline recomputation in the extra
+    workers; it never changes a verdict.
     """
     grid = spec.cells()
     grouped: Dict[Tuple[int, int], List[CellTask]] = {}
     for point, instance in cells:
         grouped.setdefault((grid[point][0], instance), []).append((point, instance))
-    chunks = list(grouped.values())
-    while len(chunks) < workers * CHUNKS_PER_WORKER:
-        largest = max(chunks, key=len, default=None)
-        if largest is None or len(largest) < 2:
-            break
-        chunks.remove(largest)
-        middle = (len(largest) + 1) // 2
-        chunks.append(largest[:middle])
-        chunks.append(largest[middle:])
-    return chunks
+    return split_chunks(list(grouped.values()), workers * CHUNKS_PER_WORKER)
 
 
 def execute_chunk(
@@ -79,29 +71,22 @@ def execute_chunk(
 
 
 def execute_parallel(
-    spec: ResilienceSpec, cells: List[CellTask], workers: int
+    spec: ResilienceSpec,
+    cells: List[CellTask],
+    workers: int,
+    backend: str = "process",
 ) -> Iterator[Tuple[int, int, ResilienceRecord]]:
-    """Run pending audit cells in a process pool, yielding records as they land.
+    """Run pending audit cells through an executor backend, yielding as they land.
 
     Yields ``(point, instance, record)`` in *completion* order — the caller
     owns grid-order reassembly (and journaling, which wants completion order
-    anyway).  A worker exception cancels the not-yet-started chunks and
-    re-raises in the parent; records of chunks that already completed have
-    been yielded (and journaled) by then, so a resumed audit only repeats the
-    unfinished chunks.
+    anyway).  ``backend`` names an
+    :data:`~repro.scenarios.dispatch.EXECUTOR_BACKENDS` entry; the default
+    local process pool cancels not-yet-started chunks on a worker exception,
+    so a resumed audit only repeats the unfinished chunks.
     """
     chunks = chunk_cells(spec, cells, workers)
     if not chunks:
         return
-    payload = resilience_to_dict(spec)
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(chunks)), mp_context=_pool_context()
-    ) as pool:
-        futures = [pool.submit(execute_chunk, payload, chunk) for chunk in chunks]
-        try:
-            for future in as_completed(futures):
-                yield from future.result()
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+    worker = functools.partial(execute_chunk, resilience_to_dict(spec))
+    yield from create_backend(backend).execute(chunks, worker, workers)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.auctions.base import AllocationAlgorithm, BidVector
-from repro.auctions.engine import resolve_engine
+from repro.auctions.engine import DEFAULT_ENGINE, engine_name, resolve_engine
 from repro.community.workload import default_provider_ids
 from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer
 from repro.core.outcome import Outcome
@@ -129,11 +129,17 @@ class RunRecord:
 
 # ------------------------------------------------------------------- components --
 def build_mechanism(spec: ScenarioSpec) -> AllocationAlgorithm:
-    """The spec's allocation algorithm, re-targeted at the requested engine."""
+    """The spec's allocation algorithm, re-targeted at the requested engine.
+
+    ``spec.engine=None`` means "the library default"
+    (:data:`~repro.auctions.engine.DEFAULT_ENGINE`, currently
+    ``"vectorized"``), not "whatever the registry built": a plain
+    ``mechanism="standard"`` spec runs the fast engine.  ``engine="reference"``
+    is the escape hatch; non-standard mechanisms pass through either way.
+    Results are engine-independent by the equivalence contract.
+    """
     mechanism = MECHANISMS.create(spec.mechanism, "mechanism")
-    if spec.engine is not None:
-        mechanism = resolve_engine(mechanism, spec.engine)
-    return mechanism
+    return resolve_engine(mechanism, spec.engine or DEFAULT_ENGINE)
 
 
 def build_workload(spec: ScenarioSpec):
@@ -290,7 +296,13 @@ def record_from_outcome(
     mechanism: AllocationAlgorithm,
     executors: int,
 ) -> RunRecord:
-    """Normalise an :class:`~repro.core.outcome.Outcome` into a :class:`RunRecord`."""
+    """Normalise an :class:`~repro.core.outcome.Outcome` into a :class:`RunRecord`.
+
+    ``engine`` records the engine that actually ran (derived from the live
+    mechanism), not the spec's requested override — a spec with
+    ``engine=None`` runs the library default, and the artifact must say so
+    rather than report ``null``.
+    """
     aborted = outcome.aborted
     winners = 0
     total_paid = 0.0
@@ -305,7 +317,7 @@ def record_from_outcome(
         series=spec.default_series(),
         runner=spec.runner,
         mechanism=mechanism.name,
-        engine=spec.engine,
+        engine=engine_name(mechanism),
         users=spec.users,
         providers=spec.providers,
         executors=executors,

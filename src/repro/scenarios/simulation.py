@@ -176,17 +176,19 @@ class Simulation:
         points: Optional[Iterable[Mapping[str, Any]]] = None,
         name: Optional[str] = None,
         *,
-        workers: Optional[int] = None,
+        workers: Union[None, int, str] = None,
         store=None,
         resume: bool = False,
     ) -> SweepResult:
         """Run a grid of variations around this scenario (see :class:`SweepSpec`).
 
-        ``workers=N`` dispatches grid points to an N-process pool (records
-        stay in grid order, identical to a sequential run on all
-        deterministic fields); ``store`` journals records to an append-only
-        JSONL file as they complete, and ``resume=True`` skips rounds that
-        journal already holds.  See :func:`repro.scenarios.sweep.run_sweep`.
+        ``workers=N`` (or ``"auto"``, sized from the CPUs this process may
+        use) dispatches grid points to a worker-process pool (records stay
+        in grid order, identical to a sequential run on all deterministic
+        fields); ``store`` journals records to an append-only JSONL file as
+        they complete, and ``resume=True`` skips rounds that journal already
+        holds.  See :func:`repro.scenarios.sweep.run_sweep` and
+        :func:`repro.scenarios.dispatch.resolve_workers`.
         """
         sweep_spec = SweepSpec(
             base=self.spec,
@@ -206,7 +208,7 @@ class Simulation:
         max_coalitions: Optional[int] = None,
         name: Optional[str] = None,
         *,
-        workers: Optional[int] = None,
+        workers: Union[None, int, str] = None,
         store=None,
         resume: bool = False,
     ):

@@ -231,7 +231,10 @@ class ScenarioSpec:
         name: free-form label, echoed into every :class:`RunRecord`.
         mechanism: registry reference for the allocation algorithm.
         engine: optional execution-engine override (``"reference"`` /
-            ``"vectorized"``); ``None`` runs the mechanism exactly as built.
+            ``"vectorized"``); ``None`` (the spec default) runs the library
+            default engine (:data:`~repro.auctions.engine.DEFAULT_ENGINE`,
+            the vectorized engine) — set ``"reference"`` to opt out.  Results
+            are bit-identical whichever engine runs.
         workload: registry reference for the bid generator; defaults to the
             canonical workload of the mechanism kind.
         users / providers: scenario size.  ``providers`` is the number of

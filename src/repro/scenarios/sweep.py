@@ -136,7 +136,8 @@ def run_sweep(
     sweep: SweepSpec,
     *,
     latency_model: Optional[LatencyModel] = None,
-    workers: Optional[int] = None,
+    workers: Union[None, int, str] = None,
+    backend: Optional[str] = None,
     store=None,
     resume: bool = False,
 ) -> SweepResult:
@@ -149,11 +150,18 @@ def run_sweep(
             caller-supplied model object that has no spec representation).
             Raises :class:`SpecError` when the sweep itself varies ``latency``
             — the override would silently swallow that axis.
-        workers: run grid points in a pool of this many worker processes
-            (``None``/``1`` = sequential, in-process).  Chunking preserves
-            the per-configuration state amortisation; records are identical
-            to a sequential run on all deterministic fields and come back in
-            the same grid order.
+        workers: run grid points in a pool of worker processes.  ``"auto"``
+            sizes the pool from the CPUs this process may actually use;
+            an explicit count larger than that degrades to the available
+            count with a stderr warning; ``None``/``1`` (and any resolution
+            landing on one CPU) is the sequential, in-process path.  See
+            :func:`~repro.scenarios.dispatch.resolve_workers`.  Chunking
+            preserves the per-configuration state amortisation; records are
+            identical to a sequential run on all deterministic fields and
+            come back in the same grid order.
+        backend: dispatch parallel chunks through a named
+            :data:`~repro.scenarios.dispatch.EXECUTOR_BACKENDS` entry instead
+            of the default local ``"process"`` pool.
         store: a results journal — a path (``str``/``PathLike``) or a
             :class:`~repro.scenarios.store.ResultsStore` — appended to as
             records complete.  The journal doubles as the sweep's artifact
@@ -162,8 +170,9 @@ def run_sweep(
             (the journal's manifest must match this sweep) and re-run only
             the missing ones.  Journaled records are returned bit-identically.
     """
-    if workers is not None and workers < 1:
-        raise SpecError("workers", f"workers must be a positive integer, got {workers}")
+    from repro.scenarios.dispatch import resolve_workers
+
+    plan = resolve_workers(workers, backend=backend)
     if latency_model is not None:
         conflict = _latency_override_conflict(sweep)
         if conflict is not None:
@@ -193,10 +202,10 @@ def run_sweep(
     ]
     fresh: Dict[Tuple[int, int], RunRecord] = {}
     try:
-        if workers is not None and workers > 1 and any(t[2] for t in tasks):
+        if plan.parallel and any(t[2] for t in tasks):
             from repro.scenarios.parallel import execute_parallel
 
-            stream = execute_parallel(tasks, workers, latency_model)
+            stream = execute_parallel(tasks, plan.workers, latency_model, plan.backend)
         else:
             stream = _execute_serial(tasks, latency_model)
         try:

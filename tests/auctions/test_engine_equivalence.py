@@ -14,8 +14,10 @@ import pytest
 
 from repro.auctions.base import BidVector, ProviderAsk, UserBid
 from repro.auctions.engine import (
+    DEFAULT_ENGINE,
     VectorizedStandardAuction,
     clear_solve_cache,
+    engine_name,
     make_standard_auction,
     resolve_engine,
 )
@@ -162,6 +164,87 @@ class TestEngineSwitch:
 
         double = DoubleAuction()
         assert resolve_engine(double, "vectorized") is double
+
+
+class TestDefaultEngineFlip:
+    """The default-flip locks: vectorized is the library default everywhere.
+
+    This suite proves both sides of the flip — the default *is* vectorized,
+    and nothing a user customised gets silently swapped out by it.
+    """
+
+    def test_library_default_is_vectorized(self):
+        assert DEFAULT_ENGINE == "vectorized"
+
+    def test_build_mechanism_resolves_spec_default_to_vectorized(self):
+        from repro.scenarios import ScenarioSpec
+        from repro.scenarios.runner import build_mechanism
+
+        spec = ScenarioSpec(mechanism="standard", users=6)
+        assert spec.engine is None  # the spec default stays unset...
+        mechanism = build_mechanism(spec)
+        # ...and resolves to the vectorized engine at build time.
+        assert isinstance(mechanism, VectorizedStandardAuction)
+        assert engine_name(mechanism) == "vectorized"
+
+    def test_spec_reference_escape_hatch_still_works(self):
+        from repro.scenarios import ScenarioSpec
+        from repro.scenarios.runner import build_mechanism
+
+        spec = ScenarioSpec(mechanism="standard", users=6, engine="reference")
+        mechanism = build_mechanism(spec)
+        assert type(mechanism) is StandardAuction
+        assert engine_name(mechanism) == "reference"
+
+    def test_auction_run_default_is_vectorized(self):
+        from repro.runtime.auction_run import AuctionRun
+
+        bids = StandardAuctionWorkload(seed=0).generate(6, 3)
+        run = AuctionRun(bids, StandardAuction())
+        assert isinstance(run.algorithm, VectorizedStandardAuction)
+
+    def test_batch_runner_default_is_vectorized(self):
+        from repro.community.workload import StandardAuctionWorkload
+        from repro.runtime.batch import BatchAuctionRunner
+
+        runner = BatchAuctionRunner(StandardAuction(), StandardAuctionWorkload(seed=0))
+        assert isinstance(runner.algorithm, VectorizedStandardAuction)
+
+    def test_standard_subclasses_are_never_swapped(self):
+        # A user-registered subclass carries overridden behavior the stock
+        # vectorized engine does not have; the default must run it as given.
+        class TweakedAuction(StandardAuction):
+            pass
+
+        tweaked = TweakedAuction()
+        assert resolve_engine(tweaked, DEFAULT_ENGINE) is tweaked
+        assert resolve_engine(tweaked, "reference") is tweaked
+
+    def test_greedy_and_exact_mechanisms_pass_through_the_default(self):
+        from repro.auctions.greedy import GreedyStandardAuction
+        from repro.auctions.vcg import ExactVCGAuction
+
+        for mechanism in (GreedyStandardAuction(), ExactVCGAuction()):
+            assert resolve_engine(mechanism, DEFAULT_ENGINE) is mechanism
+
+    def test_engine_name_reports_reference_for_unmarked_algorithms(self):
+        from repro.auctions.double_auction import DoubleAuction
+
+        assert engine_name(StandardAuction()) == "reference"
+        assert engine_name(VectorizedStandardAuction()) == "vectorized"
+        assert engine_name(DoubleAuction()) == "reference"
+
+    def test_default_flip_records_resolved_engine(self):
+        from repro.scenarios import ScenarioSpec, Simulation
+
+        with Simulation(ScenarioSpec(mechanism="standard", users=6)) as sim:
+            record = sim.run()
+        assert record.engine == "vectorized"
+        with Simulation(
+            ScenarioSpec(mechanism="standard", users=6, engine="reference")
+        ) as sim:
+            record = sim.run()
+        assert record.engine == "reference"
 
 
 class TestDistributedEquivalence:

@@ -1,5 +1,7 @@
 """Tests for the benchmark harness and reporting (small-scale sanity runs)."""
 
+import pathlib
+
 import pytest
 
 from repro.bench.harness import (
@@ -7,8 +9,67 @@ from repro.bench.harness import (
     Figure4Experiment,
     Figure5Experiment,
     default_latency_model,
+    run_resilience_benchmark,
 )
 from repro.bench.reporting import format_points, format_series, points_to_series
+
+
+class TestBenchMarkers:
+    def test_every_benchmark_file_carries_the_bench_marker(self):
+        # The conftest auto-marker keeps `-m "not bench"` correct when the
+        # whole tree is collected; the explicit pytestmark in each file keeps
+        # it correct when a benchmark file is run from another rootdir, where
+        # benchmarks/conftest.py may not be loaded.  Both must stay.
+        bench_dir = (
+            pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+        )
+        files = sorted(bench_dir.glob("test_*.py"))
+        assert files, bench_dir
+        unmarked = [
+            f.name
+            for f in files
+            if "pytestmark = pytest.mark.bench" not in f.read_text()
+        ]
+        assert unmarked == []
+
+
+class TestResilienceBenchmarkPolicy:
+    """The artifact can never report pool overhead as the default config."""
+
+    SMALL = dict(num_users=10, num_providers=3, k=1, seeds=(0,))
+
+    def _pin(self, monkeypatch, count):
+        monkeypatch.setattr("repro.common.available_cpus", lambda: count)
+        monkeypatch.setattr(
+            "repro.scenarios.dispatch.available_cpus", lambda: count
+        )
+
+    def test_auto_on_one_core_records_unit_speedup_without_a_pool(self, monkeypatch):
+        self._pin(monkeypatch, 1)
+        payload = run_resilience_benchmark(workers="auto", **self.SMALL)
+        assert payload["workers_requested"] == "auto"
+        assert payload["workers_resolved"] == 1
+        assert payload["backend"] == "serial"
+        assert payload["speedup"] == 1.0
+        assert payload["wall_seconds_parallel"] is None
+        assert payload["verdicts_identical"] is True
+        assert "sequential path" in payload["note"]
+
+    def test_auto_on_multi_core_times_the_resolved_pool(self, monkeypatch):
+        self._pin(monkeypatch, 2)
+        payload = run_resilience_benchmark(workers="auto", **self.SMALL)
+        assert payload["workers_resolved"] == 2
+        assert payload["backend"] == "process"
+        assert payload["wall_seconds_parallel"] > 0
+        assert payload["verdicts_identical"] is True
+        assert "workers='auto' -> 2" in payload["summary"]
+
+    def test_oversubscribed_request_is_capped_in_the_artifact(self, monkeypatch, capsys):
+        self._pin(monkeypatch, 2)
+        payload = run_resilience_benchmark(workers=6, **self.SMALL)
+        assert payload["workers_requested"] == 6
+        assert payload["workers_resolved"] == 2
+        assert "requested 6 workers" in capsys.readouterr().err
 
 
 class TestFigure4Experiment:

@@ -52,6 +52,13 @@ ADVERSARY_PAIRS = (
 )
 
 
+@pytest.fixture(autouse=True)
+def _many_cpus(monkeypatch):
+    # Pin a big host so the worker policy never degrades these pool tests to
+    # the sequential path on single-core CI runners.
+    monkeypatch.setattr("repro.scenarios.dispatch.available_cpus", lambda: 64)
+
+
 def _base_spec(mechanism: str) -> ScenarioSpec:
     return ScenarioSpec(
         name=f"differential-{mechanism}",

@@ -87,6 +87,72 @@ class TestFigureCliEquivalence:
                 for r in records]
 
 
+class TestDefaultEngineDifferential:
+    """The default-flip lock: vectorized-by-default changes labels, not science.
+
+    Running a built-in figure grid with no engine at all (the library default,
+    vectorized) must produce records bit-identical to ``engine="reference"``
+    on every protocol field — winners, payments, messages, bytes, abort flags.
+    Only the resolved-engine labels (``mechanism``, ``engine``) and, for
+    ``measure_compute=true`` grids, wall-clock timing may differ.
+    """
+
+    ENGINE_LABELS = ("mechanism", "engine")
+
+    def _protocol_fields(self, result, drop_timing):
+        rows = []
+        for record in result.records:
+            payload = record.to_dict()
+            for label in self.ENGINE_LABELS:
+                payload.pop(label)
+            if drop_timing:
+                payload.pop("elapsed_seconds")
+            rows.append(payload)
+        return rows
+
+    def test_fig5_default_flip_is_bit_identical_to_reference(self):
+        from repro.scenarios import spec_with_overrides
+
+        default = figure5_sweep(n_values=(8,), p_values=(1, 2), epsilon=0.5, seed=3)
+        assert default.base.engine == "vectorized"  # the flipped built-in
+        reference = dataclasses.replace(
+            default, base=spec_with_overrides(default.base, {"engine": "reference"})
+        )
+        via_default = run_sweep(default)
+        via_reference = run_sweep(reference)
+        # fig5 measures handler compute, so elapsed is wall-clock-dependent.
+        assert self._protocol_fields(via_default, drop_timing=True) == \
+            self._protocol_fields(via_reference, drop_timing=True)
+        assert {r.engine for r in via_default.records} == {"vectorized"}
+        assert {r.engine for r in via_reference.records} == {"reference"}
+
+    def test_fig4_records_are_engine_invariant(self):
+        from repro.scenarios import spec_with_overrides
+
+        default = figure4_sweep(n_values=(10,), k_values=(1,), seed=3)
+        reference = dataclasses.replace(
+            default, base=spec_with_overrides(default.base, {"engine": "reference"})
+        )
+        # The double auction has no vectorized engine: the default passes the
+        # mechanism through untouched, so even the labels agree.
+        assert self._protocol_fields(run_sweep(default), drop_timing=True) == \
+            self._protocol_fields(run_sweep(reference), drop_timing=True)
+
+    def test_unflagged_fig5_cli_runs_vectorized(self, capsys):
+        # Acceptance criterion: `repro-auction fig5` with no flags runs the
+        # vectorized engine (and says so in the record).
+        assert main(
+            ["fig5", "--users", "8", "--parallelism", "1",
+             "--epsilon", "0.5", "--seed", "3", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {r["engine"] for r in payload["records"]} == {"vectorized"}
+        assert all(
+            r["mechanism"] == "standard-auction-smoothed-vcg-vectorized"
+            for r in payload["records"]
+        )
+
+
 class TestSpecRoundTripRuns:
     @pytest.mark.parametrize("extension", ["json", "toml"])
     def test_round_trip_run_identical_records(self, tmp_path, extension):

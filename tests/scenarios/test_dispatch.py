@@ -1,0 +1,262 @@
+"""Worker resolution policy + the pluggable executor dispatch layer.
+
+The contract under test (DESIGN.md, "Executor dispatch"):
+
+* ``workers="auto"`` sizes the pool from the CPUs this process may actually
+  use (affinity-aware), and on a single available CPU resolves to the
+  sequential path — pool overhead can never be the default;
+* an explicit count above the available CPUs degrades to the available count
+  with a stderr warning instead of oversubscribing;
+* both executors (sweep and resilience audit) dispatch through
+  :data:`EXECUTOR_BACKENDS`, and every backend/worker-count combination is
+  bit-identical to the sequential path;
+* the CLI accepts ``--workers auto`` and surfaces the degrade warning.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    EXECUTOR_BACKENDS,
+    ExecutorBackend,
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    WorkerPlan,
+    resolve_workers,
+    run_resilience,
+    run_sweep,
+    spec_from_dict,
+)
+from repro.scenarios.dispatch import (
+    CHUNKS_PER_WORKER,
+    SerialExecutorBackend,
+    create_backend,
+    split_chunks,
+)
+from repro.scenarios.resilience import ResilienceSpec
+
+
+def _pin_cpus(monkeypatch, count):
+    monkeypatch.setattr("repro.scenarios.dispatch.available_cpus", lambda: count)
+
+
+def _sweep():
+    return SweepSpec(
+        base=spec_from_dict(
+            {"mechanism": "double", "users": 5, "providers": 3,
+             "latency": "constant", "measure_compute": False}
+        ),
+        axes=(("users", (4, 5)), ("seed", (0, 1))),
+    )
+
+
+def _audit():
+    return ResilienceSpec(
+        name="dispatch-audit",
+        base=ScenarioSpec(
+            mechanism="double", users=6, providers=3, config={"k": 1},
+            latency="constant", measure_compute=False,
+        ),
+        k=1,
+        adversaries=("equivocate",),
+        seeds=(0, 1),
+    )
+
+
+class TestResolveWorkers:
+    def test_none_is_sequential(self):
+        assert resolve_workers(None) == WorkerPlan(
+            requested=None, workers=1, backend="serial", capped=False
+        )
+
+    def test_auto_sizes_from_available_cpus(self, monkeypatch):
+        _pin_cpus(monkeypatch, 6)
+        plan = resolve_workers("auto")
+        assert plan.workers == 6
+        assert plan.backend == "process"
+        assert plan.requested == "auto"
+        assert not plan.capped
+        assert plan.parallel
+
+    def test_auto_on_one_core_host_is_sequential(self, monkeypatch, capsys):
+        # The headline policy: the default fast path can never pay pool
+        # overhead — one available CPU means the sequential path, silently.
+        _pin_cpus(monkeypatch, 1)
+        plan = resolve_workers("auto")
+        assert plan == WorkerPlan(
+            requested="auto", workers=1, backend="serial", capped=False
+        )
+        assert not plan.parallel
+        assert capsys.readouterr().err == ""
+
+    def test_oversubscription_degrades_with_warning(self, monkeypatch, capsys):
+        _pin_cpus(monkeypatch, 2)
+        plan = resolve_workers(4)
+        assert plan.workers == 2
+        assert plan.backend == "process"
+        assert plan.capped
+        err = capsys.readouterr().err
+        assert "requested 4 workers" in err
+        assert "2 CPUs are available" in err
+        assert "running 2" in err
+
+    def test_explicit_count_within_budget_is_silent(self, monkeypatch, capsys):
+        _pin_cpus(monkeypatch, 8)
+        plan = resolve_workers(3)
+        assert plan == WorkerPlan(requested=3, workers=3, backend="process")
+        assert capsys.readouterr().err == ""
+
+    def test_explicit_count_on_one_core_degrades_to_serial(self, monkeypatch, capsys):
+        _pin_cpus(monkeypatch, 1)
+        plan = resolve_workers(4)
+        assert plan.backend == "serial"
+        assert plan.workers == 1
+        assert plan.capped
+        assert "only 1 CPU is available" in capsys.readouterr().err
+
+    def test_workers_one_is_sequential_without_warning(self, monkeypatch, capsys):
+        _pin_cpus(monkeypatch, 8)
+        assert resolve_workers(1).backend == "serial"
+        assert capsys.readouterr().err == ""
+
+    @pytest.mark.parametrize("bad", [0, -2, "fast", "", 2.5, True])
+    def test_invalid_values_raise_path_precise_spec_errors(self, bad):
+        with pytest.raises(SpecError, match=r"workers"):
+            resolve_workers(bad)
+
+    def test_error_path_is_customisable(self):
+        with pytest.raises(SpecError, match=r"audit\.workers"):
+            resolve_workers("sideways", path="audit.workers")
+
+    def test_backend_override_applies_to_parallel_plans_only(self, monkeypatch):
+        _pin_cpus(monkeypatch, 4)
+        assert resolve_workers(2, backend="custom").backend == "custom"
+        assert resolve_workers(None, backend="custom").backend == "serial"
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_are_registered(self):
+        assert set(EXECUTOR_BACKENDS.available()) >= {"serial", "process"}
+
+    def test_unknown_backend_is_a_spec_error(self):
+        with pytest.raises(SpecError, match=r"workers\.backend"):
+            create_backend("multihost")
+
+    def test_custom_backend_plugs_into_run_sweep(self, monkeypatch):
+        # The extension seam: registering a backend kind makes it reachable
+        # from run_sweep without touching the executor, like MECHANISMS.
+        _pin_cpus(monkeypatch, 8)
+        used = []
+
+        class TracingBackend(SerialExecutorBackend):
+            def execute(self, chunks, worker, workers):
+                used.append((len(chunks), workers))
+                return super().execute(chunks, worker, workers)
+
+        EXECUTOR_BACKENDS.register("tracing", TracingBackend)
+        try:
+            sweep = _sweep()
+            baseline = run_sweep(sweep)
+            traced = run_sweep(sweep, workers=2, backend="tracing")
+            assert traced.records == baseline.records
+            assert used and used[0][1] == 2
+        finally:
+            EXECUTOR_BACKENDS.unregister("tracing")
+
+
+class TestSplitChunks:
+    def test_splits_largest_until_target(self):
+        chunks = split_chunks([list(range(8))], target=4)
+        assert len(chunks) == 4
+        assert sorted(x for chunk in chunks for x in chunk) == list(range(8))
+
+    def test_indivisible_chunks_survive(self):
+        assert split_chunks([[1], [2]], target=10) == [[1], [2]]
+
+    def test_empty_input(self):
+        assert split_chunks([], target=4) == []
+
+
+class TestDispatchBitIdentity:
+    def test_sweep_auto_equals_sequential(self, monkeypatch):
+        sweep = _sweep()
+        sequential = run_sweep(sweep)
+        _pin_cpus(monkeypatch, 4)
+        assert run_sweep(sweep, workers="auto").records == sequential.records
+
+    def test_sweep_auto_on_one_core_never_launches_a_pool(self, monkeypatch):
+        _pin_cpus(monkeypatch, 1)
+
+        def forbidden(self, chunks, worker, workers):  # pragma: no cover
+            raise AssertionError("process pool launched on a 1-CPU host")
+
+        monkeypatch.setattr(
+            "repro.scenarios.dispatch.ProcessExecutorBackend.execute", forbidden
+        )
+        result = run_sweep(_sweep(), workers="auto")
+        assert len(result.records) == 4
+
+    def test_resilience_auto_equals_sequential(self, monkeypatch):
+        spec = _audit()
+        sequential = run_resilience(spec)
+        _pin_cpus(monkeypatch, 4)
+        parallel = run_resilience(spec, workers="auto")
+        assert parallel.records == sequential.records
+        assert parallel.is_resilient() == sequential.is_resilient()
+
+    def test_resilience_auto_on_one_core_never_launches_a_pool(self, monkeypatch):
+        _pin_cpus(monkeypatch, 1)
+
+        def forbidden(self, chunks, worker, workers):  # pragma: no cover
+            raise AssertionError("process pool launched on a 1-CPU host")
+
+        monkeypatch.setattr(
+            "repro.scenarios.dispatch.ProcessExecutorBackend.execute", forbidden
+        )
+        result = run_resilience(_audit(), workers="auto")
+        assert result.records
+
+    def test_capped_sweep_still_bit_identical(self, monkeypatch, capsys):
+        # Degrading 4 -> 2 workers must only change the pool size, never the
+        # records: chunk determinism is independent of the worker count.
+        sweep = _sweep()
+        sequential = run_sweep(sweep)
+        _pin_cpus(monkeypatch, 2)
+        capped = run_sweep(sweep, workers=4)
+        assert capped.records == sequential.records
+        assert "requested 4 workers" in capsys.readouterr().err
+
+
+class TestCliWorkers:
+    def test_cli_accepts_auto(self, tmp_path, capsys, monkeypatch):
+        _pin_cpus(monkeypatch, 2)
+        from repro.scenarios import dump_sweep
+
+        spec_path = tmp_path / "sweep.json"
+        dump_sweep(_sweep(), spec_path)
+        journal = tmp_path / "out.jsonl"
+        assert main(
+            ["sweep", "--spec", str(spec_path), "--workers", "auto",
+             "--output", str(journal)]
+        ) == 0
+        assert "executed 4 new rounds" in capsys.readouterr().err
+
+    def test_cli_oversubscription_warning(self, tmp_path, capsys, monkeypatch):
+        _pin_cpus(monkeypatch, 1)
+        from repro.scenarios import dump_sweep
+
+        spec_path = tmp_path / "sweep.json"
+        dump_sweep(_sweep(), spec_path)
+        assert main(["sweep", "--spec", str(spec_path), "--workers", "64"]) == 0
+        assert "requested 64 workers" in capsys.readouterr().err
+
+    def test_cli_rejects_garbage_worker_counts(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--workers", "sideways"])
+        assert "expected a positive integer or 'auto'" in capsys.readouterr().err
+
+    def test_chunks_per_worker_bounds_checkpoint_loss(self):
+        # Documented knob: chunk count targets workers * CHUNKS_PER_WORKER so
+        # a crash loses at most the in-flight chunks between journal appends.
+        assert CHUNKS_PER_WORKER >= 2

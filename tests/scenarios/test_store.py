@@ -16,6 +16,13 @@ from repro.scenarios import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _many_cpus(monkeypatch):
+    # Pin a big host so the worker policy never degrades the --workers paths
+    # under test to the sequential path on single-core CI runners.
+    monkeypatch.setattr("repro.scenarios.dispatch.available_cpus", lambda: 64)
+
+
 def _spec(data):
     base = {"mechanism": "double", "latency": "constant", "measure_compute": False}
     base.update(data)

@@ -34,6 +34,14 @@ from repro.scenarios.spec import ComponentSpec, spec_to_dict
 from repro.scenarios.sweep import _component_key
 
 
+@pytest.fixture(autouse=True)
+def _many_cpus(monkeypatch):
+    # The worker policy degrades explicit counts to the CPUs this process may
+    # use; pin a big host so the pool paths under test stay parallel (and
+    # warning-free) on single-core CI runners.
+    monkeypatch.setattr("repro.scenarios.dispatch.available_cpus", lambda: 64)
+
+
 def _spec(data):
     base = {"mechanism": "double", "latency": "constant", "measure_compute": False}
     base.update(data)
