@@ -1,0 +1,105 @@
+"""Taint-path policy: which rules apply to which files.
+
+The determinism rules (RPA001/RPA002) only make sense on the *deterministic
+paths* — the packages whose outputs the repo pins bit-identical across
+engines, schedulers, executors and ``PYTHONHASHSEED`` values.  Classification
+is purely structural (path segments under the ``repro`` package), so it works
+identically for real files, test fixtures with virtual paths, and files named
+on the CLI with absolute paths.
+
+The policy table (see DESIGN.md, "Static analysis: the determinism linter"):
+
+========================  =========================================
+path                      classification
+========================  =========================================
+``repro/auctions/``       deterministic
+``repro/net/``            deterministic
+``repro/consensus/``      deterministic
+``repro/gametheory/``     deterministic
+``repro/scenarios/``      deterministic, except ``dispatch.py``
+``repro/bench/``          allowlisted (wall-clock measurement is its job)
+``benchmarks/``           bench-suite (RPA007 pytestmark contract)
+everything else           contract rules only (RPA003–RPA006)
+========================  =========================================
+
+``scenarios/dispatch.py`` is exempt because worker resolution *must* inspect
+the real machine (``available_cpus``) and warn on real stderr — it is the one
+scenarios module whose job is talking to the actual host, not the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Tuple, Union
+
+__all__ = [
+    "ALLOWLISTED_PACKAGES",
+    "DETERMINISTIC_EXEMPT_FILES",
+    "DETERMINISTIC_PACKAGES",
+    "PathClass",
+    "classify_path",
+]
+
+#: Sub-packages of ``repro`` whose behaviour is pinned bit-identical.
+DETERMINISTIC_PACKAGES = frozenset(
+    {"auctions", "net", "consensus", "gametheory", "scenarios"}
+)
+
+#: Files inside deterministic packages that are exempt by design.
+DETERMINISTIC_EXEMPT_FILES = frozenset({("scenarios", "dispatch.py")})
+
+#: Sub-packages of ``repro`` where wall-clock and host entropy are the point.
+ALLOWLISTED_PACKAGES = frozenset({"bench"})
+
+
+@dataclass(frozen=True)
+class PathClass:
+    """The lint-relevant classification of one source file."""
+
+    display_path: str
+    repro_parts: Tuple[str, ...]
+    deterministic: bool
+    allowlisted: bool
+    benchmarks_test: bool
+
+
+def _normalize(path: Union[str, "PurePosixPath"]) -> Tuple[str, ...]:
+    return tuple(part for part in PurePosixPath(str(path).replace("\\", "/")).parts)
+
+
+def classify_path(path: Union[str, PurePosixPath]) -> PathClass:
+    """Classify ``path`` by its segments; accepts absolute or repo-relative paths."""
+    parts = _normalize(path)
+    display = "/".join(parts)
+
+    repro_parts: Tuple[str, ...] = ()
+    if "repro" in parts:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        repro_parts = parts[anchor + 1 :]
+
+    deterministic = False
+    allowlisted = False
+    if repro_parts:
+        package = repro_parts[0]
+        allowlisted = package in ALLOWLISTED_PACKAGES
+        if package in DETERMINISTIC_PACKAGES and not allowlisted:
+            exempt = any(
+                repro_parts[0] == head and repro_parts[-1] == tail
+                for head, tail in DETERMINISTIC_EXEMPT_FILES
+            )
+            deterministic = not exempt
+
+    benchmarks_test = (
+        "benchmarks" in parts
+        and parts[-1].startswith("test_")
+        and parts[-1].endswith(".py")
+    )
+
+    return PathClass(
+        display_path=display,
+        repro_parts=repro_parts,
+        deterministic=deterministic,
+        allowlisted=allowlisted,
+        benchmarks_test=benchmarks_test,
+    )

@@ -1,0 +1,53 @@
+"""Rendering lint reports: the stable text and JSON formats.
+
+The JSON document is the CI artifact contract (uploaded by the ``lint`` job
+and schema-checked in ``tests/analysis``): bump ``REPORT_VERSION`` on any
+field change so downstream consumers can dispatch on it.  Keys are emitted
+sorted and findings in (path, line, col, code) order, so two runs over the
+same tree produce byte-identical documents — diffable in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.engine import LintReport
+
+__all__ = ["REPORT_VERSION", "report_to_dict", "render_json", "render_text"]
+
+REPORT_VERSION = 1
+
+
+def report_to_dict(report: LintReport) -> Dict[str, Any]:
+    counts: Dict[str, int] = {}
+    for finding in report.findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro-lint",
+        "rules": list(report.codes),
+        "files_checked": report.files_checked,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "counts": counts,
+        "suppressed": report.suppressed,
+        "summary": _summary_line(report),
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_to_dict(report), indent=2, sort_keys=True)
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.render() for finding in report.findings]
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+def _summary_line(report: LintReport) -> str:
+    status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+    return (
+        f"lint: {status} across {report.files_checked} file(s), "
+        f"{report.suppressed} suppressed, rules {','.join(report.codes)}"
+    )

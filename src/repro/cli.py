@@ -1,6 +1,6 @@
 """Command-line interface, built on the declarative scenario API.
 
-Six sub-commands cover the common workflows::
+Seven sub-commands cover the common workflows::
 
     repro-auction run   --mechanism double --users 100 --providers 8 --k 1
     repro-auction run   --spec scenario.toml --set users=200 --set config.k=2 --json
@@ -11,6 +11,18 @@ Six sub-commands cover the common workflows::
     repro-auction fig4  --users 100 200 400 --k 1 2 3
     repro-auction fig5  --users 25 50 75 --parallelism 1 2 4 --engine vectorized
     repro-auction resilience --spec resilience.json --workers 4 --output audit.jsonl
+    repro-auction lint
+    repro-auction lint src benchmarks --format json --select RPA001,RPA004
+
+``lint`` runs the determinism & contract linter (:mod:`repro.analysis`) over
+the given paths (default ``src`` and ``benchmarks`` where they exist): the RPA
+rule set that statically pins the repo's bit-identity guarantee — wall-clock/
+RNG taint, unordered iteration, pool-unsafe exceptions and submissions, frozen
+``*Spec`` dataclasses, literal registry kinds, benchmark pytestmarks.  Exit
+status is part of the contract: 0 when clean, 1 when there are findings, 2
+when the lint run itself failed (unknown ``--select`` code, missing path,
+unparseable file).  Line-scoped ``# repro: noqa[RPAxxx]`` comments suppress
+individual findings; suppressions are counted in the report.
 
 ``resilience`` audits the paper's headline claim (Definition 2, k-resilient
 ex-post equilibrium): every coalition up to ``k`` runs every deviation of the
@@ -52,6 +64,7 @@ historical flags).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Dict, Optional, Sequence
 
@@ -231,6 +244,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print machine-readable JSON records"
     )
     add_grid_options(resilience)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & contract linter (RPA rule set) over source trees",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src and benchmarks, "
+        "whichever exist under the current directory)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format: human-readable text (default) or the versioned "
+        "JSON document CI archives",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RPAxxx[,RPAxxx...]",
+        help="run only these rule codes (repeatable, comma-separable); "
+        "unknown codes are a path-precise error",
+    )
 
     return parser
 
@@ -467,6 +507,23 @@ def _print_resilience(result: ResilienceResult) -> None:
             print(f"  altered outcome: {record.label} by {','.join(record.coalition)}")
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: lint is developer tooling and the six
+    # simulation subcommands should not pay for (or be breakable by) it.
+    from repro.analysis import lint_paths, render_json, render_text
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [path for path in ("src", "benchmarks") if os.path.exists(path)]
+        if not paths:
+            raise SpecError(
+                "paths", "no src/ or benchmarks/ directory here; name paths to lint"
+            )
+    report = lint_paths(paths, select=args.select or None)
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return 0 if report.clean else 1
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     loaded = load_any(args.spec)
     if isinstance(loaded, ScenarioSpec):
@@ -492,6 +549,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "resilience":
             return _command_resilience(args)
+        if args.command == "lint":
+            return _command_lint(args)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -45,7 +45,9 @@ class _ThreadedContext(NodeContext):
         return self._rng
 
     def now(self) -> float:
-        return time.perf_counter() - self._network.start_time
+        # ThreadedNetwork is the real-time transport: its clock IS the wall
+        # clock; determinism is SimNetwork's job.
+        return time.perf_counter() - self._network.start_time  # repro: noqa[RPA001] real-time transport clock
 
     def send(self, recipient: str, payload: Any, tag: str = "") -> None:
         self._network.post(self._node_id, recipient, payload, tag)
@@ -108,7 +110,7 @@ class ThreadedNetwork:
     def post(self, sender: str, recipient: str, payload: Any, tag: str) -> None:
         if recipient not in self._mailboxes:
             raise KeyError(f"unknown recipient {recipient!r}")
-        now = time.perf_counter() - self.start_time
+        now = time.perf_counter() - self.start_time  # repro: noqa[RPA001] real-time transport timestamps messages off the wall clock
         message = Message.create(
             sender=sender,
             recipient=recipient,
@@ -149,15 +151,15 @@ class ThreadedNetwork:
         if any, so test failures are not silently swallowed.
         """
         self._errors: List[tuple] = []
-        self.start_time = time.perf_counter()
+        self.start_time = time.perf_counter()  # repro: noqa[RPA001] wall-clock run epoch of the threaded transport
         self._threads = [
             threading.Thread(target=self._worker, args=(node,), daemon=True)
             for node in self._nodes.values()
         ]
         for thread in self._threads:
             thread.start()
-        deadline = time.perf_counter() + timeout
-        while time.perf_counter() < deadline:
+        deadline = time.perf_counter() + timeout  # repro: noqa[RPA001] real timeout for real threads
+        while time.perf_counter() < deadline:  # repro: noqa[RPA001] real timeout for real threads
             if all(node.finished for node in self._nodes.values()):
                 break
             if self._errors:

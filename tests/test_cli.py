@@ -26,6 +26,13 @@ class TestParser:
         assert args.users == [10, 20]
         assert args.parallelism == [4]
 
+    def test_lint_subcommand_present(self):
+        # The full lint CLI contract lives in tests/analysis/test_lint_cli.py;
+        # this only pins that the subcommand stays wired into the front door.
+        args = build_parser().parse_args(["lint", "--select", "RPA001"])
+        assert args.command == "lint"
+        assert args.select == ["RPA001"]
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
