@@ -81,7 +81,12 @@ class TestParallelismSweep:
 
     def test_resilience_costs_parallelism(self):
         """For the same provider pool, tolerating bigger coalitions reduces the
-        achievable parallelism and therefore increases modelled running time."""
-        k1 = run_parallel(4, 1)   # p = 4 with k = 1
-        k3 = run_parallel(2, 3)   # p = 2 with k = 3
-        assert k1.outcome.elapsed_time < k3.outcome.elapsed_time
+        achievable parallelism and therefore increases modelled running time.
+
+        measure_compute=True folds real wall-clock into the model, and on a
+        busy single-core host the scheduling noise is one-sided (upward), so
+        compare the minimum over a few runs rather than a single sample.
+        """
+        k1 = min(run_parallel(4, 1).outcome.elapsed_time for _ in range(3))
+        k3 = min(run_parallel(2, 3).outcome.elapsed_time for _ in range(3))
+        assert k1 < k3   # p = 4 with k = 1 beats p = 2 with k = 3

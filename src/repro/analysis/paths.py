@@ -19,7 +19,7 @@ path                      classification
 ``repro/scenarios/``      deterministic, except ``dispatch.py``
 ``repro/bench/``          allowlisted (wall-clock measurement is its job)
 ``benchmarks/``           bench-suite (RPA007 pytestmark contract)
-everything else           contract rules only (RPA003–RPA006)
+everything else           contract rules only (RPA003–RPA006, RPA008)
 ========================  =========================================
 
 ``scenarios/dispatch.py`` is exempt because worker resolution *must* inspect

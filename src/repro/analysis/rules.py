@@ -26,6 +26,9 @@ RPA006      registry ``register()`` call whose kind is not a string literal —
             dynamic kinds escape spec-file validation
 RPA007      ``benchmarks/`` test module without the ``bench`` pytestmark —
             the PR 6 meta-test, generalised to a lint rule
+RPA008      ``StoreBackend`` subclass without a non-empty literal ``kind``, or
+            registered under a different kind than it declares — RPA006
+            generalised to the results-plane store contract
 ==========  ====================================================================
 """
 
@@ -33,7 +36,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Generator, Iterator, List, Optional, Tuple
 
 from repro.analysis.findings import Finding
 from repro.analysis.paths import PathClass
@@ -573,6 +576,121 @@ class BenchPytestmarkRule(Rule):
         )
 
 
+# ------------------------------------------------------------------- RPA008 --
+class StoreBackendKindRule(Rule):
+    """RPA008: store backends pin their kind as a non-empty string literal.
+
+    The results-plane contract (``STORE_BACKENDS``) hangs everything on the
+    ``kind`` string: format sniffing maps bytes on disk to a kind, ``--resume``
+    mismatch errors name it, and ``results convert`` takes it as ``--to``.  A
+    subclass of ``StoreBackend`` (recognised by a base name ending in
+    ``StoreBackend``) must therefore declare ``kind`` as a non-empty string
+    literal, and when the module registers the class, the registered kind must
+    be the same literal — a drifting pair would sniff as one format and error
+    as another.
+    """
+
+    code = "RPA008"
+    name = "store-backend-kind"
+    summary = "StoreBackend subclasses must declare a non-empty literal kind"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        declared: Dict[str, Optional[str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and self._is_store_backend(node):
+                declared[node.name] = yield from self._check_class(module, node)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_registration(module, node, declared)
+
+    @staticmethod
+    def _is_store_backend(node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            parts = _dotted_name(base)
+            if parts is not None and parts[-1].endswith("StoreBackend"):
+                return True
+        return False
+
+    def _check_class(
+        self, module: SourceModule, node: ast.ClassDef
+    ) -> Generator[Finding, None, Optional[str]]:
+        kind = self._kind_assignment(node)
+        if kind is None:
+            yield self.finding(
+                module,
+                node,
+                f"store backend {node.name!r} does not declare a class-level "
+                f"kind; the STORE_BACKENDS contract (sniffing, --store-format "
+                f"mismatch errors, results convert) keys on it",
+            )
+            return None
+        value = kind.value
+        if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+            yield self.finding(
+                module,
+                kind,
+                f"store backend {node.name!r} computes its kind dynamically; "
+                f"declare it as a string literal so spec files, --store-format "
+                f"and results convert can reference it",
+            )
+            return None
+        if not value.value:
+            yield self.finding(
+                module,
+                kind,
+                f"store backend {node.name!r} declares an empty kind; an empty "
+                f"kind is unreachable from --store-format and sniffing",
+            )
+            return None
+        return value.value
+
+    @staticmethod
+    def _kind_assignment(node: ast.ClassDef) -> Optional[ast.AST]:
+        """The class-body statement assigning ``kind``, or None."""
+        for item in node.body:
+            if isinstance(item, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == "kind"
+                for target in item.targets
+            ):
+                return item
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and item.target.id == "kind"
+                and item.value is not None
+            ):
+                return item
+        return None
+
+    def _check_registration(
+        self, module: SourceModule, call: ast.Call, declared: Dict[str, Optional[str]]
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "register"):
+            return
+        receiver = _dotted_name(func.value)
+        if receiver is None or receiver[-1] != "STORE_BACKENDS":
+            return
+        if len(call.args) < 2 or not isinstance(call.args[1], ast.Name):
+            return
+        backend = call.args[1].id
+        if backend not in declared or declared[backend] is None:
+            return  # not a local backend class, or already flagged above
+        kind = call.args[0]
+        if (
+            isinstance(kind, ast.Constant)
+            and isinstance(kind.value, str)
+            and kind.value != declared[backend]
+        ):
+            yield self.finding(
+                module,
+                kind,
+                f"STORE_BACKENDS.register({kind.value!r}, {backend}) disagrees "
+                f"with {backend}.kind = {declared[backend]!r}; the registered "
+                f"kind and the class attribute must be the same literal",
+            )
+
+
 # ------------------------------------------------------------------ registry --
 #: Rule factories by stable code — registered exactly like mechanism kinds, so
 #: ``RULES.create(ComponentSpec("RPA001"), path)`` builds a rule instance and
@@ -585,6 +703,7 @@ RULES.register("RPA004", PicklableSubmissionRule)
 RULES.register("RPA005", FrozenSpecRule)
 RULES.register("RPA006", RegistryLiteralKindRule)
 RULES.register("RPA007", BenchPytestmarkRule)
+RULES.register("RPA008", StoreBackendKindRule)
 
 
 def all_rule_codes() -> Tuple[str, ...]:

@@ -52,11 +52,14 @@ __all__ = [
     "default_latency_model",
     "export_net_artifact",
     "export_resilience_artifact",
+    "export_store_artifact",
     "export_sweep_artifact",
     "record_to_point",
     "resilience_bench_spec",
     "run_net_benchmark",
     "run_resilience_benchmark",
+    "run_store_benchmark",
+    "store_bench_records",
 ]
 
 
@@ -334,6 +337,159 @@ def export_resilience_artifact(
     return path
 
 
+def store_bench_records(count: int = 10_000, seed: int = 0) -> List[RunRecord]:
+    """Deterministic synthetic records for the store-plane benchmark.
+
+    Shaped like a real sweep's output — repeating strings (interning
+    pressure), a nullable ``engine``, mixed ints/floats/bools — but built in
+    memory so the benchmark times the *store*, not the simulator.  Pure
+    function of ``(count, seed)``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    records = []
+    for index in range(count):
+        records.append(
+            RunRecord(
+                name="store-bench",
+                series=f"series-{index % 5}",
+                runner="scenario",
+                mechanism="double" if index % 2 else "standard",
+                engine=None if index % 11 == 0 else "vectorized",
+                users=40 + (index % 30),
+                providers=8,
+                executors=5,
+                k=2,
+                parallel=index % 3 == 0,
+                instance=index % 4,
+                seed=index % 16,
+                elapsed_seconds=rng.random() * 2.0,
+                messages=1_000 + (index % 997),
+                bytes_transferred=50_000 + 13 * (index % 4096),
+                aborted=False,
+                winners=10 + (index % 20),
+                total_paid=round(rng.random() * 500.0, 6),
+                total_received=round(rng.random() * 450.0, 6),
+            )
+        )
+    return records
+
+
+def run_store_benchmark(records: int = 10_000, seed: int = 0) -> Dict[str, object]:
+    """Measure the results plane: append throughput and scan/summarize time.
+
+    Writes the same ``records`` synthetic rounds through both
+    :data:`~repro.scenarios.store.STORE_BACKENDS` formats, then times the
+    analysis side: the jsonl *full parse* (``read()`` — parse every line,
+    rehydrate every record) against the columnar *streaming summary*
+    (``summary()`` — memory-mapped chunk reductions, no records built).
+    That ratio is the columnar backend's reason to exist and the headline
+    ``speedup_scan_summarize`` of ``BENCH_store.json``.
+    """
+    import os
+    import shutil
+    import tempfile
+    import time
+
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.scenarios.store import ResultsStore
+
+    rows = store_bench_records(records, seed=seed)
+    sweep = SweepSpec(
+        base=ScenarioSpec(name="store-bench", mechanism="double", users=40, seed=seed),
+        name="store-bench",
+    )
+    directory = tempfile.mkdtemp(prefix="bench-store-")
+    appends: Dict[str, Dict[str, object]] = {}
+    try:
+        paths = {}
+        for fmt in ("jsonl", "columnar"):
+            path = os.path.join(directory, f"bench.{fmt}")
+            paths[fmt] = path
+            start = time.perf_counter()
+            with ResultsStore(path, format=fmt) as store:
+                store.begin(sweep, total_rounds=len(rows))
+                for index, record in enumerate(rows):
+                    store.append(index, 0, record)
+            seconds = time.perf_counter() - start
+            appends[fmt] = {
+                "append_seconds": seconds,
+                "appends_per_sec": len(rows) / seconds,
+                "file_bytes": os.path.getsize(path),
+            }
+
+        start = time.perf_counter()
+        _manifest, parsed = ResultsStore(paths["jsonl"]).read()
+        jsonl_parse_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        jsonl_summary = ResultsStore(paths["jsonl"]).summary()
+        jsonl_summary_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        columnar_summary = ResultsStore(paths["columnar"]).summary()
+        columnar_summary_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    if len(parsed) != len(rows) or columnar_summary["records"] != len(rows):
+        raise RuntimeError("store benchmark lost records; refusing to report")
+    # Histogram-derived stats are batch-invariant (bit-identical across
+    # backends); totals are accumulated in different batch partitions, so
+    # means agree only to rounding.
+    for name, stats in jsonl_summary["columns"].items():
+        other = columnar_summary["columns"][name]
+        exact = all(stats[f] == other[f] for f in ("count", "min", "max", "p50", "p90", "p99"))
+        close = abs(stats["mean"] - other["mean"]) <= 1e-9 * max(1.0, abs(stats["mean"]))
+        if not (exact and close):
+            raise RuntimeError(
+                f"store benchmark summaries disagree across backends on {name!r}"
+            )
+
+    speedup = jsonl_parse_seconds / columnar_summary_seconds
+    size_ratio = appends["jsonl"]["file_bytes"] / appends["columnar"]["file_bytes"]
+    return {
+        "bench": "store-plane",
+        "workload": "synthetic sweep records (store_bench_records)",
+        "records": len(rows),
+        "jsonl": appends["jsonl"],
+        "columnar": appends["columnar"],
+        "jsonl_full_parse_seconds": jsonl_parse_seconds,
+        "jsonl_summarize_seconds": jsonl_summary_seconds,
+        "columnar_summarize_seconds": columnar_summary_seconds,
+        "speedup_scan_summarize": speedup,
+        "size_ratio_jsonl_over_columnar": size_ratio,
+        "summaries_identical": True,
+        "summary": (
+            f"BENCH_store: {len(rows)} records — columnar scan+summarize "
+            f"{speedup:.1f}x faster than jsonl full parse "
+            f"({columnar_summary_seconds * 1e3:.1f} ms vs "
+            f"{jsonl_parse_seconds * 1e3:.1f} ms), files "
+            f"{size_ratio:.1f}x smaller "
+            f"({appends['columnar']['file_bytes']:,} B columnar vs "
+            f"{appends['jsonl']['file_bytes']:,} B jsonl)"
+        ),
+    }
+
+
+def export_store_artifact(payload: Dict[str, object], path="BENCH_store.json") -> str:
+    """Write the store-plane bench artifact (see :func:`run_store_benchmark`).
+
+    The durable counterpart of ``BENCH_net.json`` / ``BENCH_resilience.json``
+    for the results plane; CI regenerates it in quick mode and greps the
+    ``summary`` line.  Returns the path written.
+    """
+    import json
+    import os
+
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
 def default_latency_model() -> LatencyModel:
     """The WAN-ish latency model used by both experiments (spec kind ``"wan"``).
 
@@ -402,19 +558,27 @@ class _SweepExperiment:
     sweep_spec: SweepSpec
 
     def run_sweep_result(
-        self, *, workers: Optional[int] = None, store=None, resume: bool = False
+        self,
+        *,
+        workers: Optional[int] = None,
+        store=None,
+        store_format: Optional[str] = None,
+        resume: bool = False,
     ) -> SweepResult:
         """Run the full grid through the sweep engine (the CLI's ``--json`` path).
 
-        ``workers``/``store``/``resume`` are forwarded to
+        ``workers``/``store``/``store_format``/``resume`` are forwarded to
         :func:`~repro.scenarios.sweep.run_sweep`: an N-process pool over the
-        grid, an append-only JSONL results journal, and journal-backed resume.
+        grid, an append-only results journal in the chosen
+        :data:`~repro.scenarios.store.STORE_BACKENDS` format, and
+        journal-backed resume.
         """
         return run_sweep(
             self.sweep_spec,
             latency_model=self.latency_model,
             workers=workers,
             store=store,
+            store_format=store_format,
             resume=resume,
         )
 

@@ -1,6 +1,6 @@
 """Command-line interface, built on the declarative scenario API.
 
-Seven sub-commands cover the common workflows::
+Eight sub-commands cover the common workflows::
 
     repro-auction run   --mechanism double --users 100 --providers 8 --k 1
     repro-auction run   --spec scenario.toml --set users=200 --set config.k=2 --json
@@ -8,11 +8,23 @@ Seven sub-commands cover the common workflows::
     repro-auction sweep --spec sweep.json --json
     repro-auction sweep --spec sweep.json --workers 4 --output results.jsonl
     repro-auction sweep --spec sweep.json --workers 4 --output results.jsonl --resume
+    repro-auction sweep --spec sweep.json --output results.rcol --store-format columnar
     repro-auction fig4  --users 100 200 400 --k 1 2 3
     repro-auction fig5  --users 25 50 75 --parallelism 1 2 4 --engine vectorized
     repro-auction resilience --spec resilience.json --workers 4 --output audit.jsonl
+    repro-auction results summarize results.rcol
+    repro-auction results convert results.jsonl results.rcol
     repro-auction lint
     repro-auction lint src benchmarks --format json --select RPA001,RPA004
+
+``results`` works on existing journals, whatever their format (the file is
+sniffed, never declared): ``summarize`` streams a journal through the
+constant-memory aggregation layer (:mod:`repro.scenarios.aggregate`) and
+prints per-column count/mean/min/max/percentiles plus throughput totals
+without ever materialising the record list; ``convert`` rewrites a journal
+in the other :data:`~repro.scenarios.store.STORE_BACKENDS` format
+(jsonl <-> columnar), preserving the manifest fingerprint so ``--resume``
+continues a converted journal exactly where the original stopped.
 
 ``lint`` runs the determinism & contract linter (:mod:`repro.analysis`) over
 the given paths (default ``src`` and ``benchmarks`` where they exist): the RPA
@@ -46,9 +58,13 @@ the spec file.  The grid commands (``sweep``/``fig4``/``fig5``) additionally
 take ``--workers N`` (run grid points in an N-process pool, chunked to keep
 the engine-state amortisation; records stay in grid order and are identical
 to a sequential run on all deterministic fields), ``--output FILE`` (append
-every record to a JSONL results journal as it completes) and ``--resume``
-(skip rounds the journal already holds — re-running an interrupted sweep
-executes only the missing grid points).  One argparse-rooted caveat: next to ``--spec``, a flag
+every record to a results journal as it completes), ``--store-format
+jsonl|columnar`` (the file format a fresh journal is written in — jsonl is
+the greppable interchange default, columnar the typed NumPy format built
+for huge grids; existing journals are sniffed, and a contradicting
+``--store-format`` is a spec error suggesting ``results convert``) and
+``--resume`` (skip rounds the journal already holds — re-running an
+interrupted sweep executes only the missing grid points).  One argparse-rooted caveat: next to ``--spec``, a flag
 explicitly set to its default value (e.g. ``--users 50``) is indistinguishable
 from an omitted flag and is ignored — use ``--set users=50`` to force a value
 that happens to coincide with a flag default.  ``--workers auto`` sizes the
@@ -125,10 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--output",
             metavar="FILE",
-            help="append every record to this JSONL results journal as it "
+            help="append every record to this results journal as it "
             "completes (per round sequentially, per worker chunk under "
             "--workers); the journal doubles as the sweep artifact and as "
             "the checkpoint --resume continues from",
+        )
+        command.add_argument(
+            "--store-format",
+            choices=_store_format_choices(),
+            default=None,
+            help="file format for a fresh --output journal: 'jsonl' (the "
+            "greppable interchange default) or 'columnar' (typed NumPy "
+            "chunks with streaming summaries, built for large grids); an "
+            "existing journal's format is sniffed from the file, and a "
+            "contradicting --store-format is an error suggesting "
+            "'repro-auction results convert'",
         )
         command.add_argument(
             "--resume",
@@ -245,6 +272,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_grid_options(resilience)
 
+    results = sub.add_parser(
+        "results",
+        help="inspect or convert results journals (jsonl or columnar, sniffed)",
+    )
+    results_sub = results.add_subparsers(dest="results_command", required=True)
+    summarize = results_sub.add_parser(
+        "summarize",
+        help="stream a journal into per-column count/mean/min/max/percentile "
+        "and throughput summaries (constant memory: the record list is "
+        "never materialised)",
+    )
+    summarize.add_argument(
+        "journal", metavar="FILE", help="the results journal (jsonl or columnar)"
+    )
+    summarize.add_argument(
+        "--json", action="store_true", help="print the summary as a JSON document"
+    )
+    convert = results_sub.add_parser(
+        "convert",
+        help="rewrite a journal in another store format; the manifest — "
+        "fingerprint included — is preserved, so --resume continues the "
+        "converted journal exactly where the original stopped",
+    )
+    convert.add_argument(
+        "source", metavar="SOURCE", help="the journal to convert (format sniffed)"
+    )
+    convert.add_argument(
+        "destination", metavar="DEST", help="fresh path for the converted journal"
+    )
+    convert.add_argument(
+        "--to",
+        choices=_store_format_choices(),
+        default=None,
+        help="target format (default: the other one of jsonl/columnar)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the determinism & contract linter (RPA rule set) over source trees",
@@ -273,6 +336,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     return parser
+
+
+def _store_format_choices():
+    """The registered store-backend kinds (the --store-format/--to choices)."""
+    from repro.scenarios.store import STORE_BACKENDS
+
+    return STORE_BACKENDS.available()
 
 
 def _workers_argument(value: str):
@@ -403,10 +473,20 @@ def _command_batch(args: argparse.Namespace) -> int:
 
 
 def _grid_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
-    """The run_sweep keyword arguments of the shared --workers/--output/--resume flags."""
+    """The run_sweep kwargs of the shared --workers/--output/--store-format/--resume flags."""
     if args.resume and not args.output:
         raise SpecError("--resume", "resuming requires --output FILE (the journal to continue)")
-    return {"workers": args.workers, "store": args.output, "resume": args.resume}
+    if args.store_format and not args.output:
+        raise SpecError(
+            "--store-format",
+            "choosing a store format requires --output FILE (the journal to write)",
+        )
+    return {
+        "workers": args.workers,
+        "store": args.output,
+        "store_format": args.store_format,
+        "resume": args.resume,
+    }
 
 
 def _report_store(result: SweepResult, args: argparse.Namespace) -> None:
@@ -507,6 +587,29 @@ def _print_resilience(result: ResilienceResult) -> None:
             print(f"  altered outcome: {record.label} by {','.join(record.coalition)}")
 
 
+def _command_results(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the results plane (and its numpy
+    # dependency surface) should not tax the simulation subcommands' startup.
+    from repro.scenarios.aggregate import render_summary
+    from repro.scenarios.store import ResultsStore, convert_journal
+
+    if args.results_command == "summarize":
+        summary = ResultsStore(args.journal).summary()
+        if args.json:
+            import json
+
+            print(json.dumps(summary, indent=2))
+        else:
+            print(render_summary(summary))
+        return 0
+    outcome = convert_journal(args.source, args.destination, to=args.to)
+    print(
+        f"converted {outcome['records']} records: {outcome['source']} "
+        f"({outcome['from']}) -> {outcome['destination']} ({outcome['to']})"
+    )
+    return 0
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     # Imported here, not at module top: lint is developer tooling and the six
     # simulation subcommands should not pay for (or be breakable by) it.
@@ -549,11 +652,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "resilience":
             return _command_resilience(args)
+        if args.command == "results":
+            return _command_results(args)
         if args.command == "lint":
             return _command_lint(args)
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:  # pragma: no cover - e.g. `results summarize | head`
+        # The reader closed the pipe early; exit quietly like standard
+        # Unix tools.  Detach stdout so the interpreter's shutdown flush
+        # does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     return 1  # pragma: no cover - argparse enforces the choices
 
 

@@ -76,7 +76,17 @@ from repro.scenarios.spec import (
     sweep_from_dict,
     sweep_to_dict,
 )
-from repro.scenarios.store import ResultsStore, sweep_fingerprint
+from repro.scenarios.aggregate import MetricAccumulator, StreamingSummary, render_summary
+from repro.scenarios.columnar import ColumnarStoreBackend
+from repro.scenarios.store import (
+    STORE_BACKENDS,
+    JsonlStoreBackend,
+    ResultsStore,
+    StoreBackend,
+    convert_journal,
+    sniff_format,
+    sweep_fingerprint,
+)
 from repro.scenarios.sweep import ComponentCache, SweepResult, run_sweep
 
 __all__ = [
@@ -86,13 +96,16 @@ __all__ = [
     "BUILTIN_SWEEPS",
     "BatchResult",
     "BidderSpec",
+    "ColumnarStoreBackend",
     "ComponentCache",
     "ComponentSpec",
     "ConfigSpec",
     "EXECUTOR_BACKENDS",
     "ExecutorBackend",
+    "JsonlStoreBackend",
     "LATENCIES",
     "MECHANISMS",
+    "MetricAccumulator",
     "Registry",
     "ResilienceRecord",
     "ResilienceResult",
@@ -100,15 +113,19 @@ __all__ = [
     "ResultsStore",
     "RunRecord",
     "SCHEDULERS",
+    "STORE_BACKENDS",
     "ScenarioSpec",
     "Simulation",
     "SpecError",
+    "StoreBackend",
+    "StreamingSummary",
     "SweepResult",
     "SweepSpec",
     "TOPOLOGIES",
     "WORKLOADS",
     "WorkerPlan",
     "builtin_sweep",
+    "convert_journal",
     "dump_resilience",
     "dump_spec",
     "dump_sweep",
@@ -120,6 +137,7 @@ __all__ = [
     "load_spec",
     "load_sweep",
     "parse_assignments",
+    "render_summary",
     "resilience_fingerprint",
     "resilience_from_dict",
     "resilience_to_dict",
@@ -129,6 +147,7 @@ __all__ = [
     "run_resilience",
     "run_scenario",
     "run_sweep",
+    "sniff_format",
     "spec_from_dict",
     "spec_to_dict",
     "spec_with_overrides",

@@ -22,6 +22,12 @@ Chunk execution itself is delegated to a pluggable
 :class:`~repro.scenarios.dispatch.ExecutorBackend` (``"process"`` by
 default); the chunking, worker body and reassembly here are exactly the
 backend contract's "chunk determinism" and "journal-per-chunk" pieces.
+
+Journaling stays caller-side and store-agnostic: ``run_sweep`` appends each
+streamed record to whatever :data:`~repro.scenarios.store.STORE_BACKENDS`
+backend owns the journal (jsonl or columnar), so this module never sees a
+file format — the differential suite pins both backends byte-equivalent on
+the records this executor produces.
 """
 
 from __future__ import annotations

@@ -821,6 +821,7 @@ def run_resilience(
     workers: Union[None, int, str] = None,
     backend: Optional[str] = None,
     store=None,
+    store_format: Optional[str] = None,
     resume: bool = False,
 ) -> ResilienceResult:
     """Run the full audit grid and collect the records in grid order.
@@ -843,6 +844,11 @@ def run_resilience(
             :class:`~repro.scenarios.store.ResultsStore` — appended to as cells
             complete.  The journal doubles as the audit artifact and as the
             checkpoint for ``resume``.
+        store_format: with a path ``store``, which
+            :data:`~repro.scenarios.store.STORE_BACKENDS` file format a fresh
+            journal is written in (``"jsonl"``/``"columnar"``; default jsonl).
+            Existing journals are sniffed — a format contradicting what is on
+            disk is a :class:`SpecError` naming both formats.
         resume: with ``store``, skip cells the journal already holds (its
             manifest must match this audit) and run only the missing ones.
     """
@@ -859,7 +865,7 @@ def run_resilience(
     cells = spec.cells()
     seeds = spec.effective_seeds()
 
-    journal = _as_store(store)
+    journal = _as_store(store, store_format)
     completed: Dict[Tuple[int, int], ResilienceRecord] = {}
     if journal is not None:
         completed = journal.begin(
@@ -909,12 +915,14 @@ def run_resilience(
     return result
 
 
-def _as_store(store):
+def _as_store(store, store_format=None):
     if store is None:
         return None
     from repro.scenarios.store import ResultsStore
 
     if isinstance(store, ResultsStore):
         store.record_type = ResilienceRecord
+        if store_format is not None:
+            store.format = store_format
         return store
-    return ResultsStore(store, record_type=ResilienceRecord)
+    return ResultsStore(store, record_type=ResilienceRecord, format=store_format)

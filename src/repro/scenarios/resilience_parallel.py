@@ -16,7 +16,10 @@ JSON-shaped data crosses the process boundary, and every result is a plain
 frozen :class:`~repro.scenarios.resilience.ResilienceRecord`.  Results stream
 back in completion order carrying their ``(point, instance)`` key; the caller
 (:func:`~repro.scenarios.resilience.run_resilience`) reassembles deterministic
-grid order regardless of scheduling.
+grid order regardless of scheduling.  Journaling is equally caller-side and
+store-agnostic — ``run_resilience`` appends completed cells to whatever
+:data:`~repro.scenarios.store.STORE_BACKENDS` backend owns the journal, so
+audit artifacts may be jsonl or columnar without this module knowing.
 """
 
 from __future__ import annotations

@@ -178,6 +178,7 @@ class Simulation:
         *,
         workers: Union[None, int, str] = None,
         store=None,
+        store_format: Optional[str] = None,
         resume: bool = False,
     ) -> SweepResult:
         """Run a grid of variations around this scenario (see :class:`SweepSpec`).
@@ -185,9 +186,12 @@ class Simulation:
         ``workers=N`` (or ``"auto"``, sized from the CPUs this process may
         use) dispatches grid points to a worker-process pool (records stay
         in grid order, identical to a sequential run on all deterministic
-        fields); ``store`` journals records to an append-only JSONL file as
-        they complete, and ``resume=True`` skips rounds that journal already
-        holds.  See :func:`repro.scenarios.sweep.run_sweep` and
+        fields); ``store`` journals records to an append-only results journal
+        as they complete (``store_format`` picks the
+        :data:`~repro.scenarios.store.STORE_BACKENDS` file format for a fresh
+        path — jsonl by default, columnar for large grids), and
+        ``resume=True`` skips rounds that journal already holds.  See
+        :func:`repro.scenarios.sweep.run_sweep` and
         :func:`repro.scenarios.dispatch.resolve_workers`.
         """
         sweep_spec = SweepSpec(
@@ -196,7 +200,13 @@ class Simulation:
             points=tuple(dict(point) for point in points) if points else (),
             axes=tuple((key, tuple(values)) for key, values in (axes or {}).items()),
         )
-        return run_sweep(sweep_spec, workers=workers, store=store, resume=resume)
+        return run_sweep(
+            sweep_spec,
+            workers=workers,
+            store=store,
+            store_format=store_format,
+            resume=resume,
+        )
 
     def audit_resilience(
         self,
@@ -210,6 +220,7 @@ class Simulation:
         *,
         workers: Union[None, int, str] = None,
         store=None,
+        store_format: Optional[str] = None,
         resume: bool = False,
     ):
         """Audit the paper's k-resilience claim around this scenario.
@@ -235,7 +246,13 @@ class Simulation:
             schedules=tuple(schedules),
             seeds=tuple(seeds) if seeds else (),
         )
-        return run_resilience(spec, workers=workers, store=store, resume=resume)
+        return run_resilience(
+            spec,
+            workers=workers,
+            store=store,
+            store_format=store_format,
+            resume=resume,
+        )
 
 
 def run_file(path, overrides: Optional[Mapping[str, Any]] = None):

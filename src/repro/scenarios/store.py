@@ -1,4 +1,4 @@
-"""Persistent sweep results: an append-only JSONL journal with a manifest.
+"""Persistent sweep results behind pluggable store backends.
 
 One :class:`ResultsStore` file is both the sweep's durable artifact and its
 checkpoint.  The same machinery journals resilience audits
@@ -6,31 +6,52 @@ checkpoint.  The same machinery journals resilience audits
 type (any class with a lossless ``to_dict``/``from_dict`` pair — default
 :class:`~repro.scenarios.runner.RunRecord`) and by the manifest fingerprint,
 which sweeps derive from the sweep spec and audits from the resilience spec.
-The format is one JSON object per line:
 
-* line 1 — the manifest::
+Since the columnar-results-plane refactor the *file format* is a pluggable
+backend behind the :data:`STORE_BACKENDS` registry (the same
+:class:`~repro.scenarios.registry.Registry` contract the mechanism and
+executor layers use — see DESIGN.md, "The results plane"):
+
+* ``jsonl`` — the interchange format and the default.  One JSON object per
+  line: line 1 the manifest, every further line one completed round.
+* ``columnar`` (:mod:`repro.scenarios.columnar`) — typed NumPy
+  structured-array chunks, memory-mapped on read, strings interned via a
+  per-file dictionary.  Built for 10^5+-record sweeps where parsing JSON
+  per record dominates analysis time.
+
+Every backend honours one contract (:class:`StoreBackend`):
+
+* a **manifest** written first::
 
       {"kind": "manifest", "version": 1, "sweep": "<name>",
        "fingerprint": "<sha256 of the canonical sweep spec>",
        "total_rounds": <grid rounds>}
 
-* every further line — one completed round::
+* **append** of ``(point, instance, record)`` rounds, flushed as they
+  complete — per round under sequential execution, per worker chunk under
+  parallel execution — in *completion* order; the ``point`` index makes
+  reassembly order-independent.  Appending is O(1) I/O per record: opening
+  an existing journal for resume reads it **once**, and no append re-reads
+  what came before.
 
-      {"kind": "record", "point": <grid index>, "instance": <round>,
-       "record": {<RunRecord.to_dict()>}}
+* **torn-tail tolerance**: a partial final line / chunk — the signature of
+  a crash mid-append — is ignored on load and truncated away before the
+  journal is re-opened for appending; corruption anywhere else is an error.
 
-Records are appended (and flushed) as they complete — per round under
-sequential execution, per worker chunk under parallel execution — in
-*completion* order, not grid order; the ``point`` index makes reassembly
-order-independent.  A torn final line — the signature of a crash mid-append
-— is ignored on load and repaired (truncated) before the journal is
-re-opened for appending; corruption anywhere else is an error.
+* **resume**: ``begin(sweep, resume=True)`` verifies the journal's manifest
+  fingerprint against the run about to start (a changed sweep must go to a
+  fresh path) and returns the rounds already journaled, which the engines
+  then skip.  Journaled records rehydrate bit-identically — the canonical
+  JSON of every rehydrated record is byte-equal across backends, which is
+  why ``convert_journal`` (fingerprint-preserving) lets ``--resume``
+  continue a run across formats.
 
-Resume semantics: ``begin(sweep, resume=True)`` verifies the journal's
-manifest fingerprint against the sweep about to run (same name, base spec
-and grid — a changed sweep must go to a fresh path) and returns the rounds
-already journaled, which the sweep engine then skips.  Journaled records
-rehydrate bit-identically: ``json`` round-trips floats exactly.
+* **summary**: streaming aggregation (:mod:`repro.scenarios.aggregate`)
+  over the journal without materialising the record list.
+
+The file's format is *sniffed* from its first bytes, so readers never need
+to be told which backend wrote a journal; an explicit ``--store-format``
+that contradicts the sniffed format is a spec error naming both formats.
 """
 
 from __future__ import annotations
@@ -38,15 +59,41 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.scenarios.aggregate import StreamingSummary
+from repro.scenarios.registry import Registry
 from repro.scenarios.runner import RunRecord
-from repro.scenarios.spec import SpecError, SweepSpec, sweep_to_dict
+from repro.scenarios.spec import ComponentSpec, SpecError, SweepSpec, sweep_to_dict
 
-__all__ = ["ResultsStore", "sweep_fingerprint"]
+__all__ = [
+    "ResultsStore",
+    "StoreBackend",
+    "JsonlStoreBackend",
+    "STORE_BACKENDS",
+    "DEFAULT_STORE_FORMAT",
+    "sweep_fingerprint",
+    "sniff_format",
+    "make_backend",
+    "convert_journal",
+]
 
 #: Key of one journaled round: (grid point index, workload instance).
 RoundKey = Tuple[int, int]
+
+#: One journaled round before rehydration: (point, instance, record dict).
+RawRow = Tuple[int, int, Dict[str, Any]]
+
+#: The interchange format; what a fresh path gets when no format is requested.
+DEFAULT_STORE_FORMAT = "jsonl"
+
+#: First bytes of a columnar journal (defined here so sniffing needs no import
+#: of the columnar module; :mod:`repro.scenarios.columnar` re-uses it).
+COLUMNAR_MAGIC = b"RPACOL1\n"
+
+#: Store backends: journal file formats.  Factories are the backend classes,
+#: invoked as ``cls(path=..., record_type=...)``.
+STORE_BACKENDS = Registry("store backend")
 
 
 def sweep_fingerprint(sweep: SweepSpec) -> str:
@@ -55,19 +102,29 @@ def sweep_fingerprint(sweep: SweepSpec) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-class ResultsStore:
-    """An append-only JSONL journal of sweep records plus a run manifest."""
+class StoreBackend:
+    """The backend-agnostic results-journal contract.
+
+    Subclasses implement the five format-specific primitives — ``_create``,
+    ``_open_resume``, ``append_raw``, ``read_raw`` and ``summary`` — against
+    *raw rows* (plain record dicts); this base class owns everything
+    format-independent: the exists/resume guard, manifest validation, and
+    rehydration through ``record_type.from_dict`` at the typed edge.  Keeping
+    backends raw is what lets ``convert_journal`` and ``results summarize``
+    work on any journal without knowing its record class.
+    """
+
+    #: Registry kind; subclasses must override with a non-empty literal
+    #: (enforced by lint rule RPA008).
+    kind = ""
 
     VERSION = 1
 
-    def __init__(
-        self, path: Union[str, os.PathLike], record_type=RunRecord
-    ) -> None:
+    def __init__(self, path: Union[str, os.PathLike], record_type=RunRecord) -> None:
         self.path = os.fspath(path)
         self.record_type = record_type
-        self._handle = None
 
-    # -- lifecycle -----------------------------------------------------------------
+    # -- lifecycle (shared template) -------------------------------------------------
     def begin(
         self,
         sweep,
@@ -78,7 +135,7 @@ class ResultsStore:
     ) -> Dict[RoundKey, Any]:
         """Open the journal for this run and return the rounds it already holds.
 
-        A fresh path gets a manifest line; an existing journal requires
+        A fresh path gets a manifest; an existing journal requires
         ``resume=True`` (guarding against accidentally mixing two runs into
         one artifact) and a manifest matching the run about to start.
         ``sweep`` is the manifest owner — a :class:`SweepSpec` by default, or
@@ -87,7 +144,6 @@ class ResultsStore:
         """
         if fingerprint is None:
             fingerprint = sweep_fingerprint(sweep)
-        completed: Dict[RoundKey, Any] = {}
         if os.path.exists(self.path):
             if not resume:
                 raise SpecError(
@@ -95,85 +151,90 @@ class ResultsStore:
                     "results journal already exists; pass resume=True "
                     "(CLI: --resume) to continue it, or choose a new output path",
                 )
-            _manifest, completed = self.read(expected_fingerprint=fingerprint)
-            self._repair_torn_tail()
-            self._handle = open(self.path, "a", encoding="utf-8")
-        else:
-            parent = os.path.dirname(self.path)
-            if parent:
-                os.makedirs(parent, exist_ok=True)
-            self._handle = open(self.path, "w", encoding="utf-8")
-            self._write(
-                {
-                    "kind": "manifest",
-                    "version": self.VERSION,
-                    "sweep": sweep.name,
-                    "fingerprint": fingerprint,
-                    "total_rounds": total_rounds,
-                }
-            )
-        return completed
-
-    def append(self, point: int, instance: int, record) -> None:
-        """Journal one completed round (flushed immediately)."""
-        if self._handle is None:
-            raise SpecError(self.path, "results journal is not open; call begin() first")
-        self._write(
+            _manifest, rows = self._open_resume(fingerprint)
+            return self._rehydrate(rows)
+        self.create(
             {
-                "kind": "record",
-                "point": point,
-                "instance": instance,
-                "record": record.to_dict(),
+                "kind": "manifest",
+                "version": self.VERSION,
+                "sweep": sweep.name,
+                "fingerprint": fingerprint,
+                "total_rounds": total_rounds,
             }
         )
+        return {}
 
-    def close(self) -> None:
-        """Close the journal handle (idempotent)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+    def create(self, manifest: Dict[str, Any]) -> None:
+        """Create a fresh journal holding exactly ``manifest`` (verbatim).
 
-    def __enter__(self) -> "ResultsStore":
-        return self
+        ``convert_journal`` calls this directly with the source journal's
+        manifest — including its fingerprint — which is what makes a
+        converted journal resumable by the original run.
+        """
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._create(dict(manifest))
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def append(self, point: int, instance: int, record) -> None:
+        """Journal one completed round (durable by the next flush point)."""
+        self.append_raw(point, instance, record.to_dict())
 
-    # -- reading -------------------------------------------------------------------
     def read(
         self, expected_fingerprint: Optional[str] = None
     ) -> Tuple[Dict[str, Any], Dict[RoundKey, Any]]:
-        """Load the journal: its manifest and the records it holds.
+        """Load the journal: its manifest and the typed records it holds.
 
         With ``expected_fingerprint``, the manifest must match it — the
         resume path's guarantee that a journal is only ever continued by the
         sweep that started it.
         """
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                lines = handle.read().splitlines()
-        except FileNotFoundError:
-            raise SpecError(self.path, "results journal not found") from None
-        except OSError as exc:
-            raise SpecError(self.path, f"cannot read results journal: {exc}") from exc
+        manifest, rows = self.read_raw(expected_fingerprint=expected_fingerprint)
+        return manifest, self._rehydrate(rows)
 
-        entries = []
-        for number, line in enumerate(lines, start=1):
-            if not line.strip():
-                continue
-            try:
-                entries.append(json.loads(line))
-            except json.JSONDecodeError:
-                if number == len(lines):
-                    break  # torn final line: crash mid-append; the rest is intact
-                raise SpecError(
-                    self.path, f"corrupt results journal: line {number} is not valid JSON"
-                ) from None
-        if not entries or not isinstance(entries[0], dict) or entries[0].get("kind") != "manifest":
+    def flush(self) -> None:
+        """Make everything appended so far durable (no-op when not open)."""
+
+    def close(self) -> None:
+        """Flush and release the journal handle (idempotent)."""
+
+    def __enter__(self) -> "StoreBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- format-specific primitives --------------------------------------------------
+    def _create(self, manifest: Dict[str, Any]) -> None:
+        """Write a fresh journal containing ``manifest`` and open it for append."""
+        raise NotImplementedError
+
+    def _open_resume(self, fingerprint: str) -> Tuple[Dict[str, Any], List[RawRow]]:
+        """Validate + load an existing journal, repair its tail, open for append."""
+        raise NotImplementedError
+
+    def append_raw(self, point: int, instance: int, row: Dict[str, Any]) -> None:
+        """Journal one raw record dict.  Must be O(1) I/O per record."""
+        raise NotImplementedError
+
+    def read_raw(
+        self, expected_fingerprint: Optional[str] = None
+    ) -> Tuple[Dict[str, Any], List[RawRow]]:
+        """Load the manifest and every raw row, in file order."""
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, Any]:
+        """Streaming aggregate over the journal (never builds the record list)."""
+        raise NotImplementedError
+
+    # -- shared validation plumbing --------------------------------------------------
+    def _validate_manifest(
+        self, manifest: Any, expected_fingerprint: Optional[str]
+    ) -> Dict[str, Any]:
+        if not isinstance(manifest, dict) or manifest.get("kind") != "manifest":
             raise SpecError(
                 self.path, "not a results journal (first line must be the manifest)"
             )
-        manifest = entries[0]
         if manifest.get("version") != self.VERSION:
             raise SpecError(
                 self.path,
@@ -187,49 +248,380 @@ class ResultsStore:
                 "or grid changed since the journal was written); choose a new "
                 "output path for the changed sweep",
             )
+        return manifest
+
+    def _rehydrate(self, rows: List[RawRow]) -> Dict[RoundKey, Any]:
         completed: Dict[RoundKey, Any] = {}
-        for entry in entries[1:]:
-            if not isinstance(entry, dict) or entry.get("kind") != "record":
-                continue  # unknown line kinds: written by a newer build, skip
+        for point, instance, row in rows:
             try:
-                key = (int(entry["point"]), int(entry["instance"]))
-                completed[key] = self.record_type.from_dict(entry["record"])
+                completed[(int(point), int(instance))] = self.record_type.from_dict(row)
             except (KeyError, TypeError, ValueError) as exc:
                 raise SpecError(
                     self.path, f"corrupt results journal: malformed record line ({exc})"
                 ) from exc
-        return manifest, completed
+        return completed
 
-    # -- plumbing ------------------------------------------------------------------
-    def _repair_torn_tail(self) -> None:
-        """Make the journal append-safe after a crash mid-append.
+    def _summary_payload(
+        self, manifest: Dict[str, Any], summary: StreamingSummary
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "path": self.path,
+            "backend": self.kind,
+            "sweep": manifest.get("sweep"),
+            "fingerprint": manifest.get("fingerprint"),
+            "total_rounds": manifest.get("total_rounds"),
+        }
+        payload.update(summary.to_dict())
+        return payload
 
-        ``read`` *tolerates* a torn final line, but appending after one would
-        concatenate the next record onto the partial text, losing that record
-        and leaving an invalid line in the middle of the file — permanently
-        unreadable once anything follows it.  So before re-opening for
-        append: drop an unparsable final line, and newline-terminate a valid
-        final line whose trailing ``\\n`` never made it to disk.
-        """
-        with open(self.path, "rb") as handle:
-            data = handle.read()
-        lines = data.splitlines(keepends=True)
-        if not lines:
-            return
-        tail = lines[-1].strip()
-        torn = False
-        if tail:
-            try:
-                json.loads(tail.decode("utf-8"))
-            except (UnicodeDecodeError, ValueError):
-                torn = True
-        if torn:
-            with open(self.path, "wb") as handle:
-                handle.write(b"".join(lines[:-1]))
-        elif not data.endswith(b"\n"):
+
+class JsonlStoreBackend(StoreBackend):
+    """The interchange backend: an append-only JSONL journal.
+
+    Human-greppable, diff-able, and readable by anything with a JSON parser;
+    the price is O(records) text parsing on every read.  Opening for resume
+    is a *single* pass — the same read that loads completed rounds computes
+    the valid byte extent, so tail repair is a truncate, not a second scan.
+    """
+
+    kind = "jsonl"
+
+    def __init__(self, path: Union[str, os.PathLike], record_type=RunRecord) -> None:
+        super().__init__(path, record_type)
+        self._handle = None
+
+    # -- primitives ------------------------------------------------------------------
+    def _create(self, manifest: Dict[str, Any]) -> None:
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._write(manifest)
+
+    def _open_resume(self, fingerprint: str) -> Tuple[Dict[str, Any], List[RawRow]]:
+        entries, valid_end, needs_newline = self._load()
+        manifest, rows = self._interpret(entries, fingerprint)
+        # Tail repair without a second read: ``_load`` already knows how many
+        # leading bytes parse cleanly.  A torn final line is truncated away (a
+        # record after it would weld onto the partial text — one line lost and
+        # one permanently invalid); a valid final line whose trailing newline
+        # never reached the disk gets it now.
+        size = os.path.getsize(self.path)
+        if valid_end < size:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+        elif needs_newline:
             with open(self.path, "ab") as handle:
                 handle.write(b"\n")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return manifest, rows
+
+    def append_raw(self, point: int, instance: int, row: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise SpecError(self.path, "results journal is not open; call begin() first")
+        self._write(
+            {"kind": "record", "point": int(point), "instance": int(instance), "record": row}
+        )
+
+    def read_raw(
+        self, expected_fingerprint: Optional[str] = None
+    ) -> Tuple[Dict[str, Any], List[RawRow]]:
+        entries, _valid_end, _needs_newline = self._load()
+        return self._interpret(entries, expected_fingerprint)
+
+    def summary(self) -> Dict[str, Any]:
+        """Stream the journal line-by-line into constant-size accumulators.
+
+        Rows are parsed, folded into :class:`StreamingSummary` and dropped;
+        neither the record list nor any record object is ever built.  A torn
+        final line is tolerated exactly as in ``read``.
+        """
+        self.flush()
+        summary = StreamingSummary()
+        manifest: Optional[Dict[str, Any]] = None
+        pending_error: Optional[int] = None
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            raise SpecError(self.path, "results journal not found") from None
+        except OSError as exc:
+            raise SpecError(self.path, f"cannot read results journal: {exc}") from exc
+        with handle:
+            for number, line in enumerate(handle, start=1):
+                if pending_error is not None:
+                    raise SpecError(
+                        self.path,
+                        f"corrupt results journal: line {pending_error} is not valid JSON",
+                    )
+                text = line.strip()
+                if not text:
+                    continue
+                try:
+                    entry = json.loads(text)
+                except ValueError:
+                    pending_error = number  # only an error if any line follows
+                    continue
+                if manifest is None:
+                    manifest = self._validate_manifest(entry, None)
+                    continue
+                if isinstance(entry, dict) and entry.get("kind") == "record":
+                    row = entry.get("record")
+                    if isinstance(row, dict):
+                        summary.add_row(row)
+        if manifest is None:
+            raise SpecError(
+                self.path, "not a results journal (first line must be the manifest)"
+            )
+        return self._summary_payload(manifest, summary)
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- plumbing --------------------------------------------------------------------
+    def _load(self) -> Tuple[List[Any], int, bool]:
+        """Single-pass parse: (entries, valid byte extent, missing final newline).
+
+        ``valid_end`` is the byte offset up to which the file parses cleanly;
+        a torn final line (crash mid-append) lies beyond it and is simply not
+        part of the journal.  Corruption on any non-final line is an error.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            raise SpecError(self.path, "results journal not found") from None
+        except OSError as exc:
+            raise SpecError(self.path, f"cannot read results journal: {exc}") from exc
+
+        segments = data.splitlines(keepends=True)
+        entries: List[Any] = []
+        valid_end = 0
+        torn = False
+        for number, segment in enumerate(segments, start=1):
+            stripped = segment.strip()
+            if not stripped:
+                valid_end += len(segment)
+                continue
+            try:
+                entries.append(json.loads(stripped.decode("utf-8")))
+            except (UnicodeDecodeError, ValueError):
+                if number == len(segments):
+                    torn = True  # torn final line: crash mid-append; the rest is intact
+                    break
+                raise SpecError(
+                    self.path, f"corrupt results journal: line {number} is not valid JSON"
+                ) from None
+            valid_end += len(segment)
+        needs_newline = not torn and bool(data) and not data.endswith(b"\n")
+        return entries, valid_end, needs_newline
+
+    def _interpret(
+        self, entries: List[Any], expected_fingerprint: Optional[str]
+    ) -> Tuple[Dict[str, Any], List[RawRow]]:
+        if not entries:
+            raise SpecError(
+                self.path, "not a results journal (first line must be the manifest)"
+            )
+        manifest = self._validate_manifest(entries[0], expected_fingerprint)
+        rows: List[RawRow] = []
+        for entry in entries[1:]:
+            if not isinstance(entry, dict) or entry.get("kind") != "record":
+                continue  # unknown line kinds: written by a newer build, skip
+            try:
+                rows.append((int(entry["point"]), int(entry["instance"]), entry["record"]))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SpecError(
+                    self.path, f"corrupt results journal: malformed record line ({exc})"
+                ) from exc
+        return manifest, rows
 
     def _write(self, entry: Dict[str, Any]) -> None:
         self._handle.write(json.dumps(entry, separators=(",", ":")) + "\n")
         self._handle.flush()
+
+
+def sniff_format(path: Union[str, os.PathLike]) -> Optional[str]:
+    """Identify which backend wrote the journal at ``path`` (None when absent).
+
+    Columnar journals start with :data:`COLUMNAR_MAGIC`; anything else is
+    treated as ``jsonl`` so that the jsonl backend — not the sniffer —
+    produces the canonical diagnostics for files that are no journal at all.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(COLUMNAR_MAGIC))
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise SpecError(path, f"cannot read results journal: {exc}") from exc
+    return "columnar" if head == COLUMNAR_MAGIC else "jsonl"
+
+
+def make_backend(
+    kind: str, path: Union[str, os.PathLike], record_type=RunRecord
+) -> StoreBackend:
+    """Instantiate the registered backend ``kind`` for ``path``.
+
+    Unknown kinds become a path-precise :class:`SpecError` listing what is
+    registered — the same contract every other registry in the library has.
+    """
+    path = os.fspath(path)
+    spec = ComponentSpec(kind, {"path": path, "record_type": record_type})
+    return STORE_BACKENDS.create(spec, path)
+
+
+class ResultsStore:
+    """A results journal with a pluggable file format.
+
+    The store facade every engine writes through.  ``format`` picks the
+    backend for a *fresh* path (default ``jsonl``); existing files are
+    sniffed, so readers never state a format — and an explicit ``format``
+    contradicting what is on disk is a spec error pointing at
+    ``repro-auction results convert`` rather than a parse failure deep in
+    the wrong backend.
+    """
+
+    VERSION = StoreBackend.VERSION
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        record_type=RunRecord,
+        format: Optional[str] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.record_type = record_type
+        self.format = format
+        self._backend: Optional[StoreBackend] = None
+
+    # -- backend resolution ----------------------------------------------------------
+    @property
+    def backend(self) -> StoreBackend:
+        """The resolved backend (sniffs the file on first use)."""
+        if self._backend is None:
+            on_disk = sniff_format(self.path)
+            if on_disk is not None and self.format is not None and on_disk != self.format:
+                raise SpecError(
+                    self.path,
+                    f"this journal holds {on_disk!r} data but --store-format "
+                    f"requested {self.format!r}; drop --store-format to use the "
+                    f"journal as-is, or rewrite it first with "
+                    f"'repro-auction results convert {self.path} NEW_PATH "
+                    f"--to {self.format}'",
+                )
+            kind = on_disk or self.format or DEFAULT_STORE_FORMAT
+            self._backend = make_backend(kind, self.path, record_type=self.record_type)
+        self._backend.record_type = self.record_type  # honour late reassignment
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        return self.backend.kind
+
+    # -- delegated journal surface ---------------------------------------------------
+    def begin(
+        self,
+        sweep,
+        total_rounds: int,
+        *,
+        resume: bool = False,
+        fingerprint: Optional[str] = None,
+    ) -> Dict[RoundKey, Any]:
+        return self.backend.begin(
+            sweep, total_rounds, resume=resume, fingerprint=fingerprint
+        )
+
+    def append(self, point: int, instance: int, record) -> None:
+        self.backend.append(point, instance, record)
+
+    def read(
+        self, expected_fingerprint: Optional[str] = None
+    ) -> Tuple[Dict[str, Any], Dict[RoundKey, Any]]:
+        return self.backend.read(expected_fingerprint=expected_fingerprint)
+
+    def summary(self) -> Dict[str, Any]:
+        return self.backend.summary()
+
+    def flush(self) -> None:
+        if self._backend is not None:
+            self._backend.flush()
+
+    def close(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def convert_journal(
+    source: Union[str, os.PathLike],
+    destination: Union[str, os.PathLike],
+    to: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Rewrite the journal at ``source`` into ``destination`` in another format.
+
+    The manifest is copied **verbatim** — fingerprint included — so the
+    converted journal answers ``--resume`` for exactly the run that produced
+    the original; rows are copied raw, in file order, preserving the
+    duplicate-round later-wins semantics of ``read``.  ``to`` defaults to
+    "the other" format of the jsonl/columnar pair.
+    """
+    source = os.fspath(source)
+    destination = os.fspath(destination)
+    source_kind = sniff_format(source)
+    if source_kind is None:
+        raise SpecError(source, "results journal not found")
+    if to is not None and to not in STORE_BACKENDS:
+        raise SpecError(
+            "--to",
+            f"unknown store backend kind {to!r}; "
+            f"available: {', '.join(STORE_BACKENDS.available())}",
+        )
+    target_kind = to or ("columnar" if source_kind == "jsonl" else "jsonl")
+    if target_kind == source_kind:
+        raise SpecError(
+            destination,
+            f"journal at {source} already holds {source_kind!r} data; "
+            f"pick a different --to format",
+        )
+    if os.path.exists(destination):
+        raise SpecError(
+            destination,
+            "results journal already exists; choose a fresh output path "
+            "for the converted copy",
+        )
+    reader = make_backend(source_kind, source)
+    manifest, rows = reader.read_raw()
+    writer = make_backend(target_kind, destination)
+    try:
+        writer.create(manifest)
+        for point, instance, row in rows:
+            writer.append_raw(point, instance, row)
+    finally:
+        writer.close()
+    return {
+        "source": source,
+        "destination": destination,
+        "from": source_kind,
+        "to": target_kind,
+        "records": len(rows),
+    }
+
+
+STORE_BACKENDS.register("jsonl", JsonlStoreBackend)
+
+# The columnar backend registers itself on import; importing it last keeps the
+# cycle harmless (columnar.py imports the contract from this module, which is
+# fully defined by here).  The guard covers the reverse entry order — someone
+# importing repro.scenarios.columnar directly — where that module is already
+# mid-initialisation and will finish registering itself.
+if "columnar" not in STORE_BACKENDS:
+    import repro.scenarios.columnar  # noqa: E402,F401  (registration import)

@@ -139,6 +139,7 @@ def run_sweep(
     workers: Union[None, int, str] = None,
     backend: Optional[str] = None,
     store=None,
+    store_format: Optional[str] = None,
     resume: bool = False,
 ) -> SweepResult:
     """Run every grid point of the sweep and collect the records in grid order.
@@ -166,9 +167,15 @@ def run_sweep(
             :class:`~repro.scenarios.store.ResultsStore` — appended to as
             records complete.  The journal doubles as the sweep's artifact
             and as a checkpoint for ``resume``.
+        store_format: with a path ``store``, which
+            :data:`~repro.scenarios.store.STORE_BACKENDS` file format a fresh
+            journal is written in (``"jsonl"``/``"columnar"``; default jsonl).
+            Existing journals are sniffed — a format contradicting what is on
+            disk is a :class:`SpecError` naming both formats.
         resume: with ``store``, skip grid rounds the journal already holds
             (the journal's manifest must match this sweep) and re-run only
-            the missing ones.  Journaled records are returned bit-identically.
+            the missing ones.  Journaled records are returned bit-identically
+            regardless of the journal's backend.
     """
     from repro.scenarios.dispatch import resolve_workers
 
@@ -185,7 +192,7 @@ def run_sweep(
             )
     scenarios = sweep.scenarios()
 
-    journal = _as_store(store)
+    journal = _as_store(store, store_format)
     completed: Dict[Tuple[int, int], RunRecord] = {}
     if journal is not None:
         completed = journal.begin(
@@ -279,14 +286,16 @@ def _execute_serial(tasks, latency_model) -> Iterator[Tuple[int, int, RunRecord]
         cache.close()
 
 
-def _as_store(store):
+def _as_store(store, store_format=None):
     if store is None:
         return None
     from repro.scenarios.store import ResultsStore
 
     if isinstance(store, ResultsStore):
+        if store_format is not None:
+            store.format = store_format
         return store
-    return ResultsStore(store)
+    return ResultsStore(store, format=store_format)
 
 
 def _latency_override_conflict(sweep: SweepSpec) -> Optional[str]:

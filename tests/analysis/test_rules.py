@@ -321,6 +321,77 @@ class TestBenchPytestmark:
         assert lint_source("x = 1\n", "benchmarks/conftest.py", select=["RPA007"]).clean
 
 
+# ---------------------------------------------------------------------- RPA008 --
+class TestStoreBackendKind:
+    def test_missing_kind_fires(self):
+        snippet = (
+            "from repro.scenarios.store import StoreBackend\n\n\n"
+            "class ParquetStoreBackend(StoreBackend):\n"
+            "    pass\n"
+        )
+        report = lint_source(snippet, CORE_PATH, select=["RPA008"])
+        assert codes_at(report) == [("RPA008", 4)]
+
+    def test_dynamic_kind_fires(self):
+        snippet = (
+            "from repro.scenarios.store import StoreBackend\n\n"
+            "FORMAT = 'parquet'\n\n\n"
+            "class ParquetStoreBackend(StoreBackend):\n"
+            "    kind = FORMAT\n"
+        )
+        report = lint_source(snippet, CORE_PATH, select=["RPA008"])
+        assert codes_at(report) == [("RPA008", 7)]
+
+    def test_empty_kind_fires(self):
+        snippet = (
+            "from repro.scenarios.store import StoreBackend\n\n\n"
+            "class ParquetStoreBackend(StoreBackend):\n"
+            "    kind = ''\n"
+        )
+        report = lint_source(snippet, CORE_PATH, select=["RPA008"])
+        assert codes_at(report) == [("RPA008", 5)]
+
+    def test_registration_kind_drift_fires(self):
+        snippet = (
+            "from repro.scenarios.store import STORE_BACKENDS, StoreBackend\n\n\n"
+            "class ParquetStoreBackend(StoreBackend):\n"
+            "    kind = 'parquet'\n\n\n"
+            "STORE_BACKENDS.register('arrow', ParquetStoreBackend)\n"
+        )
+        report = lint_source(snippet, CORE_PATH, select=["RPA008"])
+        assert codes_at(report) == [("RPA008", 8)]
+
+    def test_literal_kind_with_matching_registration_is_clean(self):
+        snippet = (
+            "from repro.scenarios.store import STORE_BACKENDS, StoreBackend\n\n\n"
+            "class ParquetStoreBackend(StoreBackend):\n"
+            "    kind = 'parquet'\n\n\n"
+            "STORE_BACKENDS.register('parquet', ParquetStoreBackend)\n"
+        )
+        assert lint_source(snippet, CORE_PATH, select=["RPA008"]).clean
+
+    def test_annotated_kind_is_clean(self):
+        snippet = (
+            "from repro.scenarios.store import StoreBackend\n\n\n"
+            "class ParquetStoreBackend(StoreBackend):\n"
+            "    kind: str = 'parquet'\n"
+        )
+        assert lint_source(snippet, CORE_PATH, select=["RPA008"]).clean
+
+    def test_subclass_of_concrete_backend_needs_own_kind(self):
+        snippet = (
+            "from repro.scenarios.columnar import ColumnarStoreBackend\n\n\n"
+            "class TunedColumnar(ColumnarStoreBackend):\n"
+            "    pass\n"
+        )
+        report = lint_source(snippet, CORE_PATH, select=["RPA008"])
+        assert codes_at(report) == [("RPA008", 4)]
+
+    def test_unrelated_classes_untouched(self):
+        snippet = "class Store:\n    kind = compute()\n"
+        assert lint_source(snippet, CORE_PATH, select=["RPA008"]).clean
+
+
 # ---------------------------------------------------------------- suppression --
 class TestNoqaSuppression:
     def test_line_scoped_code_scoped_suppression(self):

@@ -152,6 +152,49 @@ class TestResume:
         assert set(completed) == {(0, 0), (0, 1)}  # point 0 landed before the failure
 
 
+class TestFormatMismatch:
+    """An explicit --store-format contradicting the on-disk format is refused
+    with an error naming both formats and the conversion escape hatch."""
+
+    def _assert_mismatch(self, excinfo, path, on_disk, requested):
+        assert excinfo.value.path == str(path)
+        message = str(excinfo.value)
+        assert f"holds {on_disk!r} data" in message
+        assert f"requested {requested!r}" in message
+        assert f"results convert {path}" in message
+        assert f"--to {requested}" in message
+
+    def test_jsonl_journal_with_columnar_format_is_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sweep = _sweep()
+        run_sweep(sweep, store=path)
+        with pytest.raises(SpecError) as excinfo:
+            run_sweep(sweep, store=path, store_format="columnar", resume=True)
+        self._assert_mismatch(excinfo, path, "jsonl", "columnar")
+
+    def test_columnar_journal_with_jsonl_format_is_refused(self, tmp_path):
+        path = tmp_path / "run.rcol"
+        sweep = _sweep()
+        run_sweep(sweep, store=path, store_format="columnar")
+        with pytest.raises(SpecError) as excinfo:
+            run_sweep(sweep, store=path, store_format="jsonl", resume=True)
+        self._assert_mismatch(excinfo, path, "columnar", "jsonl")
+
+    def test_matching_explicit_format_resumes_normally(self, tmp_path):
+        path = tmp_path / "run.rcol"
+        sweep = _sweep()
+        run_sweep(sweep, store=path, store_format="columnar")
+        resumed = run_sweep(sweep, store=path, store_format="columnar", resume=True)
+        assert resumed.executed_rounds == 0
+
+    def test_unknown_format_lists_available_backends(self, tmp_path):
+        with pytest.raises(SpecError) as excinfo:
+            run_sweep(_sweep(), store=tmp_path / "x.out", store_format="parquet")
+        message = str(excinfo.value)
+        assert "parquet" in message
+        assert "columnar" in message and "jsonl" in message
+
+
 class TestCorruption:
     def test_torn_final_line_is_ignored(self, tmp_path):
         path = tmp_path / "journal.jsonl"
