@@ -29,6 +29,9 @@ RPA007      ``benchmarks/`` test module without the ``bench`` pytestmark —
 RPA008      ``StoreBackend`` subclass without a non-empty literal ``kind``, or
             registered under a different kind than it declares — RPA006
             generalised to the results-plane store contract
+RPA009      retry loop in a deterministic path without a literal attempt
+            bound, or ``time.sleep`` between attempts — the recovery layer's
+            reproducibility contract (backoff must live in sim time)
 ==========  ====================================================================
 """
 
@@ -691,6 +694,158 @@ class StoreBackendKindRule(Rule):
             )
 
 
+# ------------------------------------------------------------------- RPA009 --
+_LOOP_NODES = (ast.While, ast.For, ast.AsyncFor)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _shallow_body(loop: ast.AST) -> Iterator[ast.AST]:
+    """The loop's own statements: stops at nested loops and new scopes."""
+    stack: List[ast.AST] = list(getattr(loop, "body", [])) + list(
+        getattr(loop, "orelse", [])
+    )
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _LOOP_NODES + _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _handler_resumes(handler: ast.ExceptHandler) -> bool:
+    """True when the except body lets the loop take another iteration."""
+    last = handler.body[-1]
+    return not isinstance(last, (ast.Raise, ast.Break, ast.Return))
+
+
+def _module_int_constants(tree: ast.Module) -> Dict[str, int]:
+    """Module-level ``ALL_CAPS = <int literal>`` bindings — literal by convention."""
+    constants: Dict[str, int] = {}
+    for node in tree.body:
+        targets: List[ast.AST] = []
+        value: Optional[ast.AST] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, int)
+            and not isinstance(value.value, bool)
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id.isupper():
+                constants[target.id] = value.value
+    return constants
+
+
+class BoundedRetryRule(Rule):
+    """RPA009: retry loops in deterministic paths are literally bounded, sleep-free.
+
+    The recovery layer retries by scheduling backed-off retransmissions in
+    *sim time*, so a run with a persistent fault still terminates at the same
+    step count on every host.  A retry loop that spins ``while True`` until an
+    exception stops happening has no such guarantee — under an injected
+    persistent fault it livelocks — and one that sleeps on the wall clock
+    between attempts couples the schedule to host load.  Two shapes are
+    flagged: an except-and-retry loop whose bound is not a literal (an int
+    literal in ``range()``, or a module-level ALL_CAPS int constant, which is
+    the repo's named-literal idiom), and ``time.sleep`` anywhere inside a loop.
+    ``while`` loops with a dynamic exit condition (``while not done``) are a
+    protocol's own progress argument, not a retry bound, and stay out of
+    scope.
+    """
+
+    code = "RPA009"
+    name = "unbounded-retry"
+    summary = (
+        "retry loops in deterministic paths need a literal bound and no time.sleep"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.path_class.deterministic:
+            return
+        imports = _import_map(module.tree)
+        constants = _module_int_constants(module.tree)
+        yield from self._visit(module, module.tree, imports, constants, in_loop=False)
+
+    def _visit(
+        self, module, node, imports, constants, in_loop
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _LOOP_NODES):
+                yield from self._check_loop(module, child, constants)
+            if in_loop and isinstance(child, ast.Call):
+                if _resolve_call_origin(child.func, imports) == "time.sleep":
+                    yield self.finding(
+                        module,
+                        child,
+                        "time.sleep() inside a loop blocks on the wall clock "
+                        "between attempts; model backoff in sim time "
+                        "(set_timer / scheduled retransmission) so the retry "
+                        "schedule replays bit-identically",
+                    )
+            if isinstance(child, _SCOPE_NODES):
+                yield from self._visit(module, child, imports, constants, False)
+            else:
+                yield from self._visit(
+                    module,
+                    child,
+                    imports,
+                    constants,
+                    in_loop or isinstance(child, _LOOP_NODES),
+                )
+
+    def _check_loop(self, module, loop, constants) -> Iterator[Finding]:
+        if not any(
+            _handler_resumes(handler)
+            for node in _shallow_body(loop)
+            if isinstance(node, ast.Try)
+            for handler in node.handlers
+        ):
+            return
+        if isinstance(loop, ast.While):
+            test = loop.test
+            if isinstance(test, ast.Constant) and test.value:
+                yield self.finding(
+                    module,
+                    loop,
+                    "unbounded retry loop: `while True` with an except handler "
+                    "that retries never terminates under a persistent fault; "
+                    "bound the attempts with a literal "
+                    "(for attempt in range(N))",
+                )
+            return
+        stop = self._range_stop(loop.iter)
+        if stop is None:
+            return  # not a counted retry loop (iterating real items is fine)
+        if isinstance(stop, ast.Constant):
+            if isinstance(stop.value, int) and not isinstance(stop.value, bool):
+                return
+        elif isinstance(stop, ast.Name) and stop.id in constants:
+            return
+        yield self.finding(
+            module,
+            loop,
+            "retry loop bound is not a literal; use an int literal or a "
+            "module-level ALL_CAPS int constant in range() so the worst-case "
+            "attempt count is auditable from the source",
+        )
+
+    @staticmethod
+    def _range_stop(iterable: ast.AST) -> Optional[ast.AST]:
+        """The stop expression of a ``range(...)`` call, else None."""
+        if not (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id == "range"
+            and 1 <= len(iterable.args) <= 3
+            and not iterable.keywords
+        ):
+            return None
+        return iterable.args[0] if len(iterable.args) == 1 else iterable.args[1]
+
+
 # ------------------------------------------------------------------ registry --
 #: Rule factories by stable code — registered exactly like mechanism kinds, so
 #: ``RULES.create(ComponentSpec("RPA001"), path)`` builds a rule instance and
@@ -704,6 +859,7 @@ RULES.register("RPA005", FrozenSpecRule)
 RULES.register("RPA006", RegistryLiteralKindRule)
 RULES.register("RPA007", BenchPytestmarkRule)
 RULES.register("RPA008", StoreBackendKindRule)
+RULES.register("RPA009", BoundedRetryRule)
 
 
 def all_rule_codes() -> Tuple[str, ...]:

@@ -49,13 +49,16 @@ __all__ = [
     "ExperimentPoint",
     "Figure4Experiment",
     "Figure5Experiment",
+    "chaos_bench_spec",
     "default_latency_model",
+    "export_chaos_artifact",
     "export_net_artifact",
     "export_resilience_artifact",
     "export_store_artifact",
     "export_sweep_artifact",
     "record_to_point",
     "resilience_bench_spec",
+    "run_chaos_benchmark",
     "run_net_benchmark",
     "run_resilience_benchmark",
     "run_store_benchmark",
@@ -326,6 +329,147 @@ def export_resilience_artifact(
     The durable counterpart of ``BENCH_sweep.json`` / ``BENCH_net.json`` for
     the game-theory layer; CI regenerates it in quick mode and greps the
     ``summary`` line.  Returns the path written.
+    """
+    import json
+    import os
+
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def chaos_bench_spec(
+    num_users: int = 80,
+    num_providers: int = 5,
+    seeds: Sequence[int] = (0, 1, 2),
+):
+    """The audit spec both chaos benchmarks time (single source of truth).
+
+    A six-model fault grid — loss at two rates, duplication, reordering, a
+    latency spike and a crash-restart — x ``seeds``: 18 cells at the
+    defaults, each run twice (the replay invariant).  Shared by
+    :func:`run_chaos_benchmark` and ``benchmarks/test_bench_chaos.py`` so the
+    timed benchmarks and the exported artifact can never measure different
+    audits.
+    """
+    from repro.scenarios.chaos import ChaosSpec
+    from repro.scenarios.spec import ScenarioSpec
+
+    return ChaosSpec(
+        name="bench-chaos",
+        base=ScenarioSpec(
+            name="bench-chaos",
+            mechanism="double",
+            users=num_users,
+            providers=num_providers,
+            config={"k": min(2, (num_providers - 1) // 2)},
+            latency="constant",
+            seed=seeds[0],
+            measure_compute=False,
+        ),
+        faults=(
+            {"kind": "loss", "rate": 0.05},
+            {"kind": "loss", "rate": 0.2, "label": "heavy-loss"},
+            "duplicate",
+            "reorder",
+            {"kind": "latency_spike", "at": 0.001, "duration": 0.004, "extra": 0.05},
+            {"kind": "crash", "node": "p01", "at": 0.001, "duration": 0.002},
+        ),
+        seeds=tuple(seeds),
+    )
+
+
+def run_chaos_benchmark(
+    num_users: int = 80,
+    num_providers: int = 5,
+    workers="auto",
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Dict[str, object]:
+    """Measure the chaos audit under the default worker resolution.
+
+    Runs the :func:`chaos_bench_spec` audit once sequentially and once with
+    the requested ``workers`` (default ``"auto"``), resolved through the
+    worker policy: on a single available CPU ``"auto"`` *is* the sequential
+    path, so the default configuration can never pay pool overhead, and the
+    artifact records a 1.0x speedup by construction.  On multi-CPU hosts the
+    resolved pool is timed against the sequential run and the records are
+    checked bit-identical — the chaos layer's own replay invariant, asserted
+    once more across the process boundary.
+    """
+    import os
+    import time
+
+    from repro.common import available_cpus
+    from repro.scenarios.chaos import run_chaos
+    from repro.scenarios.dispatch import resolve_workers
+
+    spec = chaos_bench_spec(
+        num_users=num_users, num_providers=num_providers, seeds=seeds
+    )
+    cells = len(spec.cells()) * len(spec.effective_seeds())
+    plan = resolve_workers(workers)
+
+    start = time.perf_counter()
+    sequential = run_chaos(spec)
+    sequential_seconds = time.perf_counter() - start
+
+    if plan.parallel:
+        start = time.perf_counter()
+        parallel = run_chaos(spec, workers=workers)
+        parallel_seconds = time.perf_counter() - start
+        speedup = (
+            sequential_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+        )
+        identical = sequential.records == parallel.records
+        note = (
+            f"workers={plan.requested!r} resolved to {plan.workers} processes "
+            f"on {available_cpus()} available CPUs"
+        )
+    else:
+        parallel_seconds = None
+        speedup = 1.0
+        identical = True
+        note = (
+            f"workers={plan.requested!r} resolved to the sequential path "
+            f"({available_cpus()} available CPU); no pool was launched"
+        )
+    return {
+        "note": note,
+        "bench": "chaos-audit",
+        "workload": "double-auction fault-injection audit",
+        "users": num_users,
+        "providers": num_providers,
+        "faults": len(spec.faults),
+        "cells": cells,
+        "workers_requested": plan.requested,
+        "workers_resolved": plan.workers,
+        "backend": plan.backend,
+        "cpu_count": available_cpus(),
+        "cpu_count_logical": os.cpu_count(),
+        "wall_seconds_sequential": sequential_seconds,
+        "wall_seconds_parallel": parallel_seconds,
+        "speedup": speedup,
+        "records_identical": identical,
+        "clean": sequential.is_clean(),
+        "summary": (
+            f"BENCH_chaos: {cells} cells over {len(spec.faults)} fault models, "
+            f"workers={plan.requested!r} -> {plan.workers} ({plan.backend}): "
+            f"{speedup:.1f}x vs sequential "
+            f"({sequential_seconds:.2f}s sequential, {available_cpus()} "
+            f"available CPU{'s' if available_cpus() != 1 else ''}), "
+            f"clean={sequential.is_clean()}"
+        ),
+    }
+
+
+def export_chaos_artifact(payload: Dict[str, object], path="BENCH_chaos.json") -> str:
+    """Write the chaos-audit bench artifact (see :func:`run_chaos_benchmark`).
+
+    The fault plane's durable counterpart of ``BENCH_resilience.json``; CI
+    regenerates it in quick mode and greps the ``summary`` line.  Returns
+    the path written.
     """
     import json
     import os

@@ -1,6 +1,6 @@
 """Command-line interface, built on the declarative scenario API.
 
-Eight sub-commands cover the common workflows::
+Nine sub-commands cover the common workflows::
 
     repro-auction run   --mechanism double --users 100 --providers 8 --k 1
     repro-auction run   --spec scenario.toml --set users=200 --set config.k=2 --json
@@ -12,6 +12,8 @@ Eight sub-commands cover the common workflows::
     repro-auction fig4  --users 100 200 400 --k 1 2 3
     repro-auction fig5  --users 25 50 75 --parallelism 1 2 4 --engine vectorized
     repro-auction resilience --spec resilience.json --workers 4 --output audit.jsonl
+    repro-auction chaos --spec chaos.json --workers 4 --output chaos.jsonl
+    repro-auction chaos --spec chaos.json --set recovery.max_retries=5 --json
     repro-auction results summarize results.rcol
     repro-auction results convert results.jsonl results.rcol
     repro-auction lint
@@ -41,6 +43,15 @@ ex-post equilibrium): every coalition up to ``k`` runs every deviation of the
 library under every schedule, against a memoised honest baseline; the exit
 status is 0 when no deviation was profitable or outcome-altering.  It shares
 the grid flags (``--workers``/``--output``/``--resume``) with ``sweep``.
+
+``chaos`` audits the protocol under injected faults (:mod:`repro.net.faults`):
+every fault model of the spec runs against every seed, and every cell checks
+delivery conservation (``sent == delivered + dropped + lost``), termination,
+bit-identical replay at the fixed seed and — for ``torn_append`` faults —
+that a results journal torn mid-append repairs on resume.  Exit status is 0
+only when every invariant held in every cell and nothing was quarantined.  It
+shares the grid flags with ``sweep`` and adds ``--quarantine`` (survive
+worker crashes: keep running, journal the poison cells, report them).
 
 ``run`` executes one auction round and prints the outcome; ``batch`` runs many
 rounds of one scenario with amortised setup; ``sweep`` runs a grid of scenarios
@@ -87,7 +98,8 @@ from typing import Any, Dict, Optional, Sequence
 from repro.auctions.engine import DEFAULT_ENGINE, ENGINES
 from repro.bench.harness import Figure4Experiment, Figure5Experiment, record_to_point
 from repro.bench.reporting import format_points, format_series
-from repro.scenarios.io import load_any, load_resilience
+from repro.scenarios.chaos import ChaosResult, chaos_with_overrides, run_chaos
+from repro.scenarios.io import load_any, load_chaos, load_resilience
 from repro.scenarios.resilience import ResilienceResult, resilience_with_overrides, run_resilience
 from repro.scenarios.simulation import Simulation
 from repro.scenarios.spec import (
@@ -271,6 +283,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print machine-readable JSON records"
     )
     add_grid_options(resilience)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="audit the protocol under injected faults: conservation, "
+        "termination, replay and journal-repair invariants per cell",
+    )
+    chaos.add_argument(
+        "--spec",
+        metavar="FILE",
+        required=True,
+        help="chaos spec file (.json or .toml): a 'base' scenario plus "
+        "faults/recovery/seeds",
+    )
+    chaos.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="dotted-path override applied to the audit spec (e.g. --set "
+        "recovery.max_retries=5 or --set base.users=30); repeatable",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON records"
+    )
+    chaos.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="crash tolerance: survive worker failures under --workers by "
+        "retrying with a literal bound, then quarantine cells that keep "
+        "failing (journaled with --output, so --resume re-runs exactly "
+        "those) and keep executing the rest of the grid",
+    )
+    add_grid_options(chaos)
 
     results = sub.add_parser(
         "results",
@@ -497,6 +543,18 @@ def _report_store(result: SweepResult, args: argparse.Namespace) -> None:
             f"executed {result.executed_rounds} new rounds",
             file=sys.stderr,
         )
+    _report_quarantine(result)
+
+
+def _report_quarantine(result) -> None:
+    """One stderr line per run about quarantined work, greppable by CI."""
+    quarantined = getattr(result, "quarantined", None)
+    if quarantined:
+        cells = ", ".join(
+            f"({entry['point']},{entry['instance']}): {entry['error']}"
+            for entry in quarantined
+        )
+        print(f"quarantined {len(quarantined)}: {cells}", file=sys.stderr)
 
 
 def _print_sweep(result: SweepResult, args: argparse.Namespace) -> None:
@@ -556,6 +614,63 @@ def _command_resilience(args: argparse.Namespace) -> int:
     else:
         _print_resilience(result)
     return 0 if result.is_resilient() else 1
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    spec = load_chaos(args.spec)
+    spec = chaos_with_overrides(spec, parse_assignments(args.overrides))
+    failure_mode = "quarantine" if args.quarantine else "raise"
+    result = run_chaos(spec, failure_mode=failure_mode, **_grid_kwargs(args))
+    if args.output:
+        print(
+            f"store {args.output}: reused {result.resumed_cells} journaled cells, "
+            f"executed {result.executed_cells} new cells, "
+            f"quarantined {len(result.quarantined)} cells",
+            file=sys.stderr,
+        )
+    _report_quarantine(result)
+    if args.json:
+        print(result.to_json())
+    else:
+        _print_chaos(result)
+    return 0 if result.is_clean() else 1
+
+
+def _print_chaos(result: ChaosResult) -> None:
+    header = (
+        f"{'fault':<28s} {'seed':>6s} {'sent':>6s} {'lost':>6s} {'retx':>6s} "
+        f"{'term':<5s} {'consv':<6s} {'replay':<7s} {'store':<6s} {'verdict':<8s}"
+    )
+    print(f"chaos: {result.name}")
+    print(header)
+    print("-" * len(header))
+    for record in result.records:
+        print(
+            f"{record.label:<28s} {record.seed:>6d} {record.messages_sent:>6d} "
+            f"{record.messages_lost:>6d} {record.retransmissions:>6d} "
+            f"{'yes' if record.terminated else 'NO':<5s} "
+            f"{'ok' if record.conservation_ok else 'FAIL':<6s} "
+            f"{'ok' if record.replay_ok else 'FAIL':<7s} "
+            f"{'ok' if record.store_repair_ok else 'FAIL':<6s} "
+            f"{'ok' if record.ok else 'FAILED':<8s}"
+        )
+    print()
+    failing = result.failing_cells
+    if result.is_clean():
+        print(
+            f"VERDICT: clean — every invariant held across "
+            f"{len(result.records)} cells"
+        )
+    elif failing:
+        print(
+            f"VERDICT: NOT CLEAN — {len(failing)} of {len(result.records)} "
+            f"cells violated an invariant"
+        )
+    else:
+        print(
+            f"VERDICT: NOT CLEAN — {len(result.quarantined)} cells were "
+            f"quarantined (no record produced)"
+        )
 
 
 def _print_resilience(result: ResilienceResult) -> None:
@@ -652,6 +767,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "resilience":
             return _command_resilience(args)
+        if args.command == "chaos":
+            return _command_chaos(args)
         if args.command == "results":
             return _command_results(args)
         if args.command == "lint":

@@ -34,10 +34,20 @@ class BatchedConsensusBlock(ProtocolBlock):
         labels: the full set of labels every provider must cover; a received batch
             with a different label set is an observable deviation (⊥).
         validator: optional per-value predicate applied to every received value.
+        round_timeout: virtual-time budget per round (``None`` waits forever,
+            the reliable-substrate default).  With a timeout, a round that does
+            not fill its quorum in time closes with the batches/echoes received
+            so far — the block *terminates* instead of hanging on a crashed or
+            partitioned peer, and sets :attr:`degraded` so the caller can
+            surface the partial view.  Degraded decisions merge the received
+            echoes label by label; a genuine conflict between views still
+            outputs ⊥.
     """
 
     VALUE = "value"
     ECHO = "echo"
+    TIMER_VALUE = "round/value"
+    TIMER_ECHO = "round/echo"
 
     def __init__(
         self,
@@ -45,11 +55,15 @@ class BatchedConsensusBlock(ProtocolBlock):
         my_inputs: Dict[str, Any],
         labels: Optional[list] = None,
         validator: Optional[Callable[[Any], bool]] = None,
+        round_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(name)
         self.my_inputs = dict(my_inputs)
         self.labels = sorted(my_inputs.keys()) if labels is None else sorted(labels)
         self.validator = validator
+        self.round_timeout = round_timeout
+        #: True when a round closed by timeout with a partial quorum.
+        self.degraded = False
         self._batches: Dict[str, Dict[str, Any]] = {}
         self._echoes: Dict[str, Dict[str, Dict[str, Any]]] = {}
         self._echo_sent = False
@@ -71,6 +85,8 @@ class BatchedConsensusBlock(ProtocolBlock):
             return
         self._batches[ctx.node_id] = dict(self.my_inputs)
         ctx.broadcast(dict(self.my_inputs), subtag=self.VALUE)
+        if self.round_timeout is not None:
+            ctx.set_timer(self.round_timeout, self.TIMER_VALUE)
         self._maybe_echo(ctx)
 
     def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
@@ -92,15 +108,17 @@ class BatchedConsensusBlock(ProtocolBlock):
         self._batches[sender] = dict(payload)
         self._maybe_echo(ctx)
 
-    def _maybe_echo(self, ctx: BlockContext) -> None:
+    def _maybe_echo(self, ctx: BlockContext, force: bool = False) -> None:
         if self._echo_sent or self.done:
             return
-        if set(self._batches) != set(ctx.participants):
+        if not force and set(self._batches) != set(ctx.participants):
             return
         self._echo_sent = True
         snapshot = {provider: dict(batch) for provider, batch in self._batches.items()}
         ctx.broadcast(snapshot, subtag=self.ECHO)
         self._echoes[ctx.node_id] = snapshot
+        if self.round_timeout is not None:
+            ctx.set_timer(self.round_timeout, self.TIMER_ECHO)
         self._maybe_decide(ctx)
 
     def _on_echo(self, ctx: BlockContext, sender: str, payload: Any) -> None:
@@ -114,10 +132,31 @@ class BatchedConsensusBlock(ProtocolBlock):
         self._echoes[sender] = payload
         self._maybe_decide(ctx)
 
-    def _maybe_decide(self, ctx: BlockContext) -> None:
+    # -- timeout quorum ----------------------------------------------------------
+    def on_timer(self, ctx: BlockContext, subtag: str) -> None:
+        if self.done:
+            return
+        if subtag == self.TIMER_VALUE and not self._echo_sent:
+            # The value round ran out of budget: echo what we have.
+            self.degraded = True
+            self._maybe_echo(ctx, force=True)
+        elif subtag == self.TIMER_ECHO and self._echo_sent:
+            # The echo round ran out of budget: decide over the echoes we have.
+            self.degraded = True
+            self._maybe_decide(ctx, force=True)
+
+    def _maybe_decide(self, ctx: BlockContext, force: bool = False) -> None:
         if self.done or not self._echo_sent:
             return
         if set(self._echoes) != set(ctx.participants):
+            if not force:
+                return
+            self.degraded = True
+        if self.round_timeout is not None:
+            # Timeout-quorum mode merges the received echoes label by label:
+            # identical full views decide exactly as the strict path below,
+            # partial views still terminate, and a genuine conflict is ⊥.
+            self._decide_merged(ctx)
             return
         reference = self._echoes[ctx.node_id]
         for echo in self._echoes.values():
@@ -131,5 +170,32 @@ class BatchedConsensusBlock(ProtocolBlock):
             per_provider = {
                 provider: batch[label] for provider, batch in reference.items()
             }
+            decisions[label] = majority_decision(per_provider)
+        self.complete(decisions)
+
+    def _decide_merged(self, ctx: BlockContext) -> None:
+        """Decide from the union of the received echo views (timeout mode only)."""
+        merged: Dict[str, Dict[str, Any]] = {}
+        for echo in self._echoes.values():
+            for provider, batch in echo.items():
+                if not isinstance(batch, dict) or sorted(batch.keys()) != self.labels:
+                    self.complete(ABORT)  # malformed view: observable deviation
+                    return
+                known = merged.get(provider)
+                if known is None:
+                    merged[provider] = dict(batch)
+                elif known != batch:
+                    # Two views disagree about the same provider's first-round
+                    # batch: someone equivocated, the correct output is ⊥.
+                    self.complete(ABORT)
+                    return
+        if not merged:
+            self.complete(ABORT)
+            return
+        if set(merged) != set(ctx.participants):
+            self.degraded = True  # deciding without some provider's batch
+        decisions: Dict[str, Any] = {}
+        for label in self.labels:
+            per_provider = {provider: batch[label] for provider, batch in merged.items()}
             decisions[label] = majority_decision(per_provider)
         self.complete(decisions)

@@ -46,6 +46,9 @@ class SequentialAllocatorBlock(ProtocolBlock):
         use_common_coin: if True (default), agree on the seed through the common
             coin; if False, use a fixed seed of 0 (only sensible for deterministic
             algorithms — still correct, but skips one round of messages).
+        round_timeout: per-round virtual-time budget forwarded to the child
+            blocks (validation clears on a partial view, the coin outputs ⊥);
+            ``None`` waits forever.
     """
 
     def __init__(
@@ -54,34 +57,50 @@ class SequentialAllocatorBlock(ProtocolBlock):
         bids: BidVector,
         algorithm: AllocationAlgorithm,
         use_common_coin: bool = True,
+        round_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(name)
         self.bids = bids
         self.algorithm = algorithm
         self.use_common_coin = use_common_coin
+        self.round_timeout = round_timeout
+        #: True when a child block closed a round on a timeout quorum.
+        self.degraded = False
         self._ctx: Optional[BlockContext] = None
 
     def on_start(self, ctx: BlockContext) -> None:
         self._ctx = ctx
-        ctx.spawn("iv", InputValidationBlock("iv", self.bids), self._on_iv_done)
+        ctx.spawn(
+            "iv",
+            InputValidationBlock("iv", self.bids, round_timeout=self.round_timeout),
+            self._on_iv_done,
+        )
 
     def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
         return None  # all traffic flows through the child blocks
 
     # -- chaining ------------------------------------------------------------------
     def _on_iv_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         if is_abort(block.result):
             self.complete(ABORT)
             return
         if self.use_common_coin:
             assert self._ctx is not None
             self._ctx.spawn(
-                "coin", CommonCoinBlock("coin", SeedDistribution()), self._on_coin_done
+                "coin",
+                CommonCoinBlock(
+                    "coin", SeedDistribution(), round_timeout=self.round_timeout
+                ),
+                self._on_coin_done,
             )
         else:
             self._execute(seed=0)
 
     def _on_coin_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         if is_abort(block.result):
             self.complete(ABORT)
             return
@@ -102,6 +121,8 @@ class ParallelAllocatorBlock(ProtocolBlock):
             :func:`repro.core.task_graph.build_standard_auction_graph`).
         use_common_coin: if True (default), one common-coin invocation fixes the seed
             every task derives its randomness from.
+        round_timeout: per-round virtual-time budget forwarded to the child
+            blocks; ``None`` waits forever.
     """
 
     def __init__(
@@ -110,11 +131,15 @@ class ParallelAllocatorBlock(ProtocolBlock):
         bids: BidVector,
         graph: TaskGraph,
         use_common_coin: bool = True,
+        round_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(name)
         self.bids = bids
         self.graph = graph
         self.use_common_coin = use_common_coin
+        self.round_timeout = round_timeout
+        #: True when a child block closed a round on a timeout quorum.
+        self.degraded = False
         self._ctx: Optional[BlockContext] = None
         self._seed: int = 0
         self._values: Dict[str, Any] = {}
@@ -139,24 +164,36 @@ class ParallelAllocatorBlock(ProtocolBlock):
     # -- protocol -----------------------------------------------------------------------
     def on_start(self, ctx: BlockContext) -> None:
         self._ctx = ctx
-        ctx.spawn("iv", InputValidationBlock("iv", self.bids), self._on_iv_done)
+        ctx.spawn(
+            "iv",
+            InputValidationBlock("iv", self.bids, round_timeout=self.round_timeout),
+            self._on_iv_done,
+        )
 
     def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
         return None  # all traffic flows through the child blocks
 
     def _on_iv_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         if is_abort(block.result):
             self.complete(ABORT)
             return
         assert self._ctx is not None
         if self.use_common_coin:
             self._ctx.spawn(
-                "coin", CommonCoinBlock("coin", SeedDistribution()), self._on_coin_done
+                "coin",
+                CommonCoinBlock(
+                    "coin", SeedDistribution(), round_timeout=self.round_timeout
+                ),
+                self._on_coin_done,
             )
         else:
             self._begin_execution(seed=0)
 
     def _on_coin_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         if is_abort(block.result):
             self.complete(ABORT)
             return
@@ -195,7 +232,9 @@ class ParallelAllocatorBlock(ProtocolBlock):
             kwargs["my_value"] = self._values[task_name]
         self._ctx.spawn(
             block_name,
-            DataTransferBlock(block_name, senders, receivers, **kwargs),
+            DataTransferBlock(
+                block_name, senders, receivers, round_timeout=self.round_timeout, **kwargs
+            ),
             self._make_dt_callback(task_name),
             participants=sorted(set(senders) | set(receivers)),
         )
@@ -204,6 +243,8 @@ class ParallelAllocatorBlock(ProtocolBlock):
         def callback(block: ProtocolBlock) -> None:
             if self.done:
                 return
+            if getattr(block, "degraded", False):
+                self.degraded = True
             if is_abort(block.result):
                 self.complete(ABORT)
                 return

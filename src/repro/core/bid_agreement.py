@@ -62,6 +62,9 @@ class BidAgreementBlock(ProtocolBlock):
         received_provider_asks: mapping provider id -> the ask this provider received
             (its own ask included).
         mode: ``"batched"`` (default), ``"per_label"`` or ``"per_bit"``.
+        round_timeout: per-round virtual-time budget for the batched mode (see
+            :class:`~repro.consensus.multi_consensus.BatchedConsensusBlock`);
+            ignored by the faithful per-label/per-bit modes.
     """
 
     def __init__(
@@ -72,11 +75,15 @@ class BidAgreementBlock(ProtocolBlock):
         received_user_bids: Mapping[str, Any],
         received_provider_asks: Mapping[str, Any],
         mode: str = "batched",
+        round_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(name)
         if mode not in AGREEMENT_MODES:
             raise ValueError(f"unknown agreement mode {mode!r}; choose from {AGREEMENT_MODES}")
         self.mode = mode
+        self.round_timeout = round_timeout
+        #: True when the underlying consensus closed a round on a partial quorum.
+        self.degraded = False
         self.expected_users = sorted(expected_users)
         self.expected_providers = sorted(expected_providers)
         self.received_user_bids = dict(received_user_bids)
@@ -103,7 +110,12 @@ class BidAgreementBlock(ProtocolBlock):
         if self.mode == "batched":
             ctx.spawn(
                 "batch",
-                BatchedConsensusBlock("batch", self._my_inputs(), labels=self._labels()),
+                BatchedConsensusBlock(
+                    "batch",
+                    self._my_inputs(),
+                    labels=self._labels(),
+                    round_timeout=self.round_timeout,
+                ),
                 self._on_batch_done,
             )
         elif self.mode == "per_label":
@@ -125,6 +137,8 @@ class BidAgreementBlock(ProtocolBlock):
 
     # -- batched mode -----------------------------------------------------------------
     def _on_batch_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         if is_abort(block.result):
             self.complete(ABORT)
             return

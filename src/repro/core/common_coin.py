@@ -31,14 +31,32 @@ __all__ = ["CommonCoinBlock"]
 
 
 class CommonCoinBlock(ProtocolBlock):
-    """Commit–reveal shared randomness transformed to a target distribution Π."""
+    """Commit–reveal shared randomness transformed to a target distribution Π.
+
+    ``round_timeout`` bounds each round in virtual time.  A coin round that
+    times out completes with ⊥ rather than a partial sum: two sides of a
+    partition would combine different reveal subsets into *different* "shared"
+    values, which is worse than no value — randomness is the one building block
+    that cannot degrade gracefully.  The timeout still guarantees termination,
+    and :attr:`degraded` records why the coin failed.
+    """
 
     COMMIT = "commit"
     REVEAL = "reveal"
+    TIMER_COMMIT = "round/commit"
+    TIMER_REVEAL = "round/reveal"
 
-    def __init__(self, name: str, distribution: Distribution | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        distribution: Distribution | None = None,
+        round_timeout: float | None = None,
+    ) -> None:
         super().__init__(name)
         self.distribution = distribution if distribution is not None else UniformDistribution()
+        self.round_timeout = round_timeout
+        #: True when a round closed by timeout (the coin then outputs ⊥).
+        self.degraded = False
         self._my_value: float = 0.0
         self._my_nonce: bytes = b""
         self._commitments: Dict[str, Commitment] = {}
@@ -53,7 +71,18 @@ class CommonCoinBlock(ProtocolBlock):
         self._my_nonce = nonce
         self._commitments[ctx.node_id] = commitment
         ctx.broadcast(commitment.digest, subtag=self.COMMIT)
+        if self.round_timeout is not None:
+            ctx.set_timer(self.round_timeout, self.TIMER_COMMIT)
         self._maybe_reveal(ctx)
+
+    def on_timer(self, ctx: BlockContext, subtag: str) -> None:
+        if self.done:
+            return
+        if (subtag == self.TIMER_COMMIT and not self._revealed) or (
+            subtag == self.TIMER_REVEAL and self._revealed
+        ):
+            self.degraded = True
+            self.complete(ABORT)
 
     def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
         if self.done or sender not in ctx.participants:
@@ -88,6 +117,8 @@ class CommonCoinBlock(ProtocolBlock):
         self._revealed = True
         ctx.broadcast((self._my_value, self._my_nonce), subtag=self.REVEAL)
         self._reveals[ctx.node_id] = self._my_value
+        if self.round_timeout is not None:
+            ctx.set_timer(self.round_timeout, self.TIMER_REVEAL)
         self._maybe_finish(ctx)
 
     def _on_reveal(self, ctx: BlockContext, sender: str, payload: Any) -> None:

@@ -32,6 +32,14 @@ class FrameworkConfig:
         require_quorum: if True, constructing a simulation with ``m <= 2k`` raises
             immediately instead of producing a protocol without its equilibrium
             guarantee.
+        round_timeout: virtual-time budget per agreement round (``None``, the
+            default, waits forever — the paper's reliable-substrate assumption).
+            When set, the batched bid agreement closes each round with the
+            batches/echoes received so far instead of hanging on a silent peer;
+            a round closed early marks the run *degraded* (see
+            :class:`~repro.core.outcome.Outcome`).  Honoured by the default
+            ``"batched"`` agreement mode; the faithful ``per_label``/``per_bit``
+            modes ignore it.
     """
 
     k: int = 1
@@ -40,6 +48,7 @@ class FrameworkConfig:
     agreement_mode: str = "batched"
     use_common_coin: bool = True
     require_quorum: bool = True
+    round_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -50,6 +59,8 @@ class FrameworkConfig:
             )
         if self.num_groups is not None and self.num_groups < 1:
             raise ValueError("num_groups must be positive when given")
+        if self.round_timeout is not None and self.round_timeout <= 0:
+            raise ValueError("round_timeout must be positive when given")
 
     def check_quorum(self, num_providers: int) -> None:
         """Raise if the provider count is too small for the configured ``k``."""

@@ -28,12 +28,18 @@ class DataTransferBlock(ProtocolBlock):
         senders: provider ids in ``S`` (must all input the same value when honest).
         receivers: provider ids in ``O``.
         my_value: this provider's value, required if (and only if) it is in ``S``.
+        round_timeout: virtual-time budget for the transfer (``None`` waits
+            forever).  On timeout a receiver accepts the consistent value it
+            holds — a *weakened* check flagged via :attr:`degraded` (fewer than
+            ``|S|`` confirmations) — or outputs ⊥ if it received nothing or
+            saw a conflict.
 
     Output: at receivers, the transferred value (or ⊥ on any inconsistency); at
     senders that are not receivers, their own value (they already hold it).
     """
 
     VALUE = "value"
+    TIMER_TRANSFER = "round/transfer"
 
     def __init__(
         self,
@@ -41,12 +47,16 @@ class DataTransferBlock(ProtocolBlock):
         senders: Sequence[str],
         receivers: Sequence[str],
         my_value: Any = _MISSING,
+        round_timeout: Optional[float] = None,
     ) -> None:
         super().__init__(name)
         self.senders = list(dict.fromkeys(senders))
         self.receivers = list(dict.fromkeys(receivers))
         if not self.senders:
             raise ValueError("data transfer needs at least one sender")
+        self.round_timeout = round_timeout
+        #: True when the transfer closed by timeout with partial confirmations.
+        self.degraded = False
         self._my_value = my_value
         self._received: Dict[str, Any] = {}
 
@@ -69,7 +79,23 @@ class DataTransferBlock(ProtocolBlock):
                 self.complete(self._my_value)
                 return
         if self._is_receiver(me):
+            if self.round_timeout is not None:
+                ctx.set_timer(self.round_timeout, self.TIMER_TRANSFER)
             self._maybe_finish(ctx)
+
+    def on_timer(self, ctx: BlockContext, subtag: str) -> None:
+        if self.done or subtag != self.TIMER_TRANSFER:
+            return
+        self.degraded = True
+        values = list(self._received.values())
+        if not values:
+            self.complete(ABORT)  # nothing arrived: no value to degrade onto
+            return
+        first = values[0]
+        if any(value != first for value in values[1:]):
+            self.complete(ABORT)
+            return
+        self.complete(first)
 
     def on_message(self, ctx: BlockContext, sender: str, subtag: str, payload: Any) -> None:
         if self.done or subtag != self.VALUE:

@@ -65,6 +65,10 @@ class DistributedAuctioneer:
         seed: seed of the simulated network (latency jitter, per-node RNGs).
         measure_compute: charge measured handler wall-time to the providers' virtual
             clocks — enable for benchmarking, disable for deterministic tests.
+        fault_plan: optional :class:`~repro.net.faults.FaultPlan` armed on the
+            simulated network — the chaos audit injects message loss, crashes
+            and partitions through it.  ``None`` (the default) is the paper's
+            reliable substrate.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class DistributedAuctioneer:
         scheduler: Optional[Scheduler] = None,
         seed: int = 0,
         measure_compute: bool = False,
+        fault_plan=None,
     ) -> None:
         if not providers:
             raise ValueError("need at least one provider")
@@ -87,6 +92,7 @@ class DistributedAuctioneer:
         self.scheduler = scheduler
         self.seed = seed
         self.measure_compute = measure_compute
+        self.fault_plan = fault_plan
 
     # -- input construction -------------------------------------------------------
     def consistent_inputs(
@@ -151,6 +157,7 @@ class DistributedAuctioneer:
             scheduler=self.scheduler,
             seed=self.seed,
             measure_compute=self.measure_compute,
+            fault_plan=self.fault_plan,
         )
         factory = node_factory if node_factory is not None else self._default_node
         for provider_id in self.providers:
@@ -174,6 +181,10 @@ class DistributedAuctioneer:
             elapsed_time=stats.elapsed_time,
             messages=stats.messages_delivered,
             bytes_transferred=stats.bytes_delivered,
+            degraded=any(
+                getattr(network.node(provider_id), "degraded", False)
+                for provider_id in self.providers
+            ),
         )
         return SimulationReport(outcome=outcome, stats=stats)
 

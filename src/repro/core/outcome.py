@@ -50,6 +50,9 @@ class Outcome:
             seconds (0.0 for centralised executions measured directly).
         messages: total number of messages delivered during the round.
         bytes_transferred: total payload bytes delivered during the round.
+        degraded: True when some provider closed an agreement round on a
+            timeout quorum (see ``FrameworkConfig.round_timeout``) — the run
+            terminated with the bids received rather than the full view.
     """
 
     result: Union[AuctionResult, AbortType]
@@ -57,6 +60,7 @@ class Outcome:
     elapsed_time: float = 0.0
     messages: int = 0
     bytes_transferred: int = 0
+    degraded: bool = False
 
     @property
     def aborted(self) -> bool:
@@ -76,6 +80,7 @@ class Outcome:
         elapsed_time: float = 0.0,
         messages: int = 0,
         bytes_transferred: int = 0,
+        degraded: bool = False,
     ) -> "Outcome":
         return Outcome(
             result=combine_outputs(provider_outputs),
@@ -83,4 +88,5 @@ class Outcome:
             elapsed_time=elapsed_time,
             messages=messages,
             bytes_transferred=bytes_transferred,
+            degraded=degraded,
         )

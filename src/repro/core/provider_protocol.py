@@ -68,6 +68,8 @@ class FrameworkBlock(ProtocolBlock):
         self.config = config
         self.expected_users = sorted(expected_users)
         self.providers = sorted(providers)
+        #: True when the bid agreement closed a round on a timeout quorum.
+        self.degraded = False
         self._ctx: Optional[BlockContext] = None
 
     # -- protocol -------------------------------------------------------------------
@@ -89,6 +91,7 @@ class FrameworkBlock(ProtocolBlock):
                 received_user_bids=self.provider_input.received_user_bids,
                 received_provider_asks=self.provider_input.received_provider_asks,
                 mode=self.config.agreement_mode,
+                round_timeout=self.config.round_timeout,
             ),
             self._on_agreement_done,
         )
@@ -98,6 +101,8 @@ class FrameworkBlock(ProtocolBlock):
 
     # -- chaining -------------------------------------------------------------------
     def _on_agreement_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         if is_abort(block.result):
             self.complete(ABORT)
             return
@@ -112,15 +117,25 @@ class FrameworkBlock(ProtocolBlock):
                 self.config.num_groups,
             )
             allocator: ProtocolBlock = ParallelAllocatorBlock(
-                "alloc", bids, graph, use_common_coin=self.config.use_common_coin
+                "alloc",
+                bids,
+                graph,
+                use_common_coin=self.config.use_common_coin,
+                round_timeout=self.config.round_timeout,
             )
         else:
             allocator = SequentialAllocatorBlock(
-                "alloc", bids, self.algorithm, use_common_coin=self.config.use_common_coin
+                "alloc",
+                bids,
+                self.algorithm,
+                use_common_coin=self.config.use_common_coin,
+                round_timeout=self.config.round_timeout,
             )
         self._ctx.spawn("alloc", allocator, self._on_allocator_done)
 
     def _on_allocator_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         self.complete(block.result)
 
 

@@ -3,16 +3,18 @@
 The paper assumes *reliable* channels: every message sent is eventually delivered,
 unmodified, exactly once.  :class:`ReliableChannel` implements that contract for the
 discrete-event simulator.  The class is small but explicit so that tests (and
-adversarial schedulers) can inspect in-flight traffic, and so that alternative channel
-semantics (drop, duplicate) could be added for robustness experiments without touching
-the rest of the runtime.
+adversarial schedulers) can inspect in-flight traffic.  Under an armed
+:class:`~repro.net.faults.FaultPlan` the channel additionally carries the
+recovery layer's per-link state: retransmission attempt counts and duplicate
+suppression by logical origin — both untouched (and unallocated) on fault-free
+runs, so the reliable contract's memory profile is unchanged.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Set
 
 from repro.net.message import Message
 
@@ -58,6 +60,11 @@ class ReliableChannel(Channel):
     _in_flight: Dict[int, Message] = field(default_factory=dict)
     delivered_count: int = 0
     delivered_bytes: int = 0
+    # Recovery-layer state, touched only when a FaultPlan is armed (unarmed
+    # runs never allocate into these): retransmission attempt counts and the
+    # set of logical origins already processed by the recipient.
+    _attempts: Dict[int, int] = field(default_factory=dict)
+    _delivered_origins: Set[int] = field(default_factory=set)
 
     def push(self, message: Message) -> None:
         if message.sender != self.sender or message.recipient != self.recipient:
@@ -79,6 +86,30 @@ class ReliableChannel(Channel):
 
     def pending(self) -> List[Message]:
         return list(self._in_flight.values())
+
+    # -- recovery layer (see repro.net.faults) ------------------------------
+    def next_attempt(self, origin: int) -> int:
+        """Claim the next retransmission attempt number for ``origin`` (1-based).
+
+        The network consults the plan's :class:`~repro.net.faults
+        .RecoveryPolicy` for the literal bound; the channel only counts.
+        """
+        attempt = self._attempts.get(origin, 0) + 1
+        self._attempts[origin] = attempt
+        return attempt
+
+    def suppress_duplicate(self, origin: int) -> bool:
+        """True when ``origin`` was already processed by the recipient.
+
+        The first call for an origin records it and returns False (process the
+        payload); every later call — an injected duplicate or a retransmission
+        racing its original — returns True (count the delivery, skip the
+        handler), giving exactly-once processing over at-least-once delivery.
+        """
+        if origin in self._delivered_origins:
+            return True
+        self._delivered_origins.add(origin)
+        return False
 
     def earliest_undelivered(self) -> Message | None:
         """The in-flight message with the smallest send time (FIFO head), if any."""

@@ -48,6 +48,11 @@ class Message:
         msg_id: unique, monotonically increasing identifier — per network when
             allocated by one, process-global otherwise; used for deterministic
             tie-breaking in schedulers.
+        origin: the msg_id of the logical send this message is a copy of, when
+            it is an injected duplicate or a retransmission (see
+            :mod:`repro.net.faults`); ``None`` for ordinary first sends.  The
+            recipient-side duplicate suppression keys on the origin, so a
+            payload is processed exactly once however many copies arrive.
     """
 
     sender: str
@@ -58,6 +63,7 @@ class Message:
     arrival_time: float = 0.0
     size_bytes: int = 0
     msg_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+    origin: Optional[int] = None
 
     @staticmethod
     def create(

@@ -38,8 +38,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set
 
 from repro.common import stable_hash
 from repro.net.channel import ReliableChannel
@@ -49,6 +49,9 @@ from repro.net.message import Message
 from repro.net.node import Node, NodeContext
 from repro.net.scheduler import FairScheduler, LegacySchedulerAdapter, Scheduler
 from repro.net.serialization import estimate_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> scenarios)
+    from repro.net.faults import FaultPlan
 
 __all__ = ["SimNetwork", "NetworkStats", "QuiescenceError"]
 
@@ -66,6 +69,17 @@ class NetworkStats:
     messages_delivered: int = 0
     bytes_delivered: int = 0
     messages_dropped: int = 0
+    # Fault-plane counters (see repro.net.faults).  On a fault-free run only
+    # messages_sent moves.  The conservation invariant
+    # ``messages_sent == messages_delivered + messages_dropped + messages_lost``
+    # holds at the end of every ``run()``: quiescent runs drain stale traffic
+    # in ``step()``, and armed runs additionally settle copies still in flight
+    # when every node finished (a retransmission racing its original).
+    messages_sent: int = 0
+    messages_lost: int = 0
+    faults_injected: int = 0
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
     node_busy: Dict[str, float] = field(default_factory=dict)
     node_finish_time: Dict[str, float] = field(default_factory=dict)
     messages_by_tag: Dict[str, int] = field(default_factory=dict)
@@ -146,6 +160,11 @@ class SimNetwork:
             is charged to the node's virtual clock in addition to explicit
             ``ctx.charge`` calls.  Leave False for deterministic tests.
         compute_scale: multiplier applied to charged compute time (see VirtualClock).
+        fault_plan: optional :class:`~repro.net.faults.FaultPlan` injecting
+            seeded failures on the enqueue/pop path (and driving the bounded
+            retransmission recovery).  ``None`` — or a plan with no
+            network-level models — leaves every hot path exactly as before:
+            the hooks are behavioural no-ops when unarmed.
     """
 
     def __init__(
@@ -155,6 +174,7 @@ class SimNetwork:
         seed: int = 0,
         measure_compute: bool = False,
         compute_scale: float = 1.0,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         self.latency_model = latency_model if latency_model is not None else ZeroLatencyModel()
         if scheduler is None:
@@ -183,6 +203,13 @@ class SimNetwork:
         self._compute_scale = compute_scale
         self.stats = NetworkStats()
         self._started = False
+        # The public attribute keeps the whole plan (chaos audits read its
+        # journal); the private one is None unless the plan is *armed*, so an
+        # empty plan takes the exact fault-free code path.
+        self.fault_plan = fault_plan
+        self._fault_plan = (
+            fault_plan if fault_plan is not None and fault_plan.armed else None
+        )
 
     # -- topology ------------------------------------------------------------
     def add_node(self, node: Node) -> None:
@@ -265,9 +292,11 @@ class SimNetwork:
             msg_id=self._next_msg_id,
         )
         self._next_msg_id += 1
-        self._channel(sender, recipient).push(message)
-        self._in_flight[message.msg_id] = message
-        self.scheduler.push(message)
+        self.stats.messages_sent += 1
+        if self._fault_plan is not None and sender != recipient:
+            self._send_through_faults(message)
+            return
+        self._push_message(message)
 
     def _enqueue_timer(self, node_id: str, delay: float, tag: str) -> None:
         now = self._clocks[node_id].now
@@ -282,9 +311,97 @@ class SimNetwork:
             msg_id=self._next_msg_id,
         )
         self._next_msg_id += 1
-        self._channel(node_id, node_id).push(message)
+        self.stats.messages_sent += 1
+        self._push_message(message)
+
+    def _push_message(self, message: Message) -> None:
+        self._channel(message.sender, message.recipient).push(message)
         self._in_flight[message.msg_id] = message
         self.scheduler.push(message)
+
+    # -- fault plane (every method below only runs when a plan is armed) -------
+    def _send_through_faults(self, message: Message) -> None:
+        """Run one outgoing message through the fault gauntlet, then enqueue.
+
+        A dropped message is counted lost and handed to the recovery layer;
+        extra delay shifts the arrival time; injected duplicates are enqueued
+        as copies carrying the logical origin so the recipient-side
+        suppression processes the payload exactly once.
+        """
+        plan = self._fault_plan
+        effect = plan.apply_send(message)
+        stats = self.stats
+        stats.faults_injected += effect.injected
+        if effect.drop:
+            stats.messages_lost += 1
+            self._maybe_retransmit(message)
+            return
+        if effect.extra_delay:
+            message = replace(
+                message, arrival_time=message.arrival_time + effect.extra_delay
+            )
+        self._push_message(message)
+        origin = message.origin if message.origin is not None else message.msg_id
+        for _ in range(effect.duplicates):
+            duplicate = replace(message, msg_id=self._next_msg_id, origin=origin)
+            self._next_msg_id += 1
+            stats.messages_sent += 1
+            self._push_message(duplicate)
+
+    def _maybe_retransmit(self, lost: Message) -> None:
+        """Schedule a bounded, backed-off retransmission of a lost message.
+
+        Event-driven recursion, not a loop: each retransmission re-enters the
+        fault gauntlet and — if lost again — recurses with the next attempt
+        number, bounded by the policy's literal ``max_retries``.
+        """
+        plan = self._fault_plan
+        policy = plan.recovery
+        if not policy.enabled:
+            return
+        origin = lost.origin if lost.origin is not None else lost.msg_id
+        attempt = self._channel(lost.sender, lost.recipient).next_attempt(origin)
+        if attempt > policy.max_retries:
+            plan.record(
+                "retransmit_exhausted",
+                origin=origin,
+                sender=lost.sender,
+                recipient=lost.recipient,
+                tag=lost.tag,
+                attempts=policy.max_retries,
+            )
+            return
+        retry = replace(
+            lost,
+            msg_id=self._next_msg_id,
+            origin=origin,
+            arrival_time=lost.arrival_time + policy.backoff(attempt),
+        )
+        self._next_msg_id += 1
+        self.stats.messages_sent += 1
+        self.stats.retransmissions += 1
+        plan.record(
+            "retransmit",
+            origin=origin,
+            msg_id=retry.msg_id,
+            attempt=attempt,
+            sender=retry.sender,
+            recipient=retry.recipient,
+            tag=retry.tag,
+            at=retry.arrival_time,
+        )
+        self._send_through_faults(retry)
+
+    def _restart_node(self, node: Node) -> None:
+        """Re-run ``on_start`` after an injected crash: full state loss.
+
+        Protocol nodes rebuild a fresh block host in ``on_start``, so every
+        in-progress round is forgotten — exactly the crash-with-state-loss
+        semantics the ``crash`` fault models.
+        """
+        self._dispatch(node, node.on_start, self._contexts[node.node_id])
+        if node.finished:
+            self._note_finished(node.node_id)
 
     # -- execution -------------------------------------------------------------
     def _dispatch(self, node: Node, handler, *args) -> None:
@@ -309,9 +426,19 @@ class SimNetwork:
 
     def _deliver(self, message: Message, node: Node) -> None:
         del self._in_flight[message.msg_id]
-        self._channel(message.sender, message.recipient).pop(message.msg_id)
+        channel = self._channel(message.sender, message.recipient)
+        channel.pop(message.msg_id)
         clock = self._clocks[message.recipient]
         clock.advance_to(message.arrival_time)
+        if self._fault_plan is not None and message.sender != message.recipient:
+            origin = message.origin if message.origin is not None else message.msg_id
+            if channel.suppress_duplicate(origin):
+                # A copy of an already-processed send (injected duplicate or a
+                # retransmission racing its original): count the delivery,
+                # skip the handler — exactly-once processing.
+                self.stats.duplicates_suppressed += 1
+                self.stats.record_delivery(message)
+                return
         self._dispatch(node, node.on_message, self._contexts[message.recipient], message)
         self.stats.record_delivery(message)
         if node.finished:
@@ -355,6 +482,25 @@ class SimNetwork:
                 # ever finishes them.
                 self._note_finished(message.recipient)
                 continue
+            if self._fault_plan is not None and message.sender != message.recipient:
+                lost, restart = self._fault_plan.apply_deliver(message)
+                if restart:
+                    self.stats.faults_injected += 1
+                    self._restart_node(node)
+                    if node.finished:
+                        # Restart finished the node immediately; the message is
+                        # undeliverable and drains at quiescence.
+                        continue
+                if lost:
+                    # The recipient is down (crash window): the delivery never
+                    # happens.  The recovery layer may schedule a backed-off
+                    # retransmission that lands after the restart.
+                    self.stats.faults_injected += 1
+                    self.stats.messages_lost += 1
+                    del self._in_flight[message.msg_id]
+                    self._channel(message.sender, message.recipient).pop(message.msg_id)
+                    self._maybe_retransmit(message)
+                    continue
             break
         self._deliver(message, node)
         self.stats.steps += 1
@@ -382,6 +528,16 @@ class SimNetwork:
                 raise QuiescenceError(
                     f"network did not quiesce within {max_steps} deliveries"
                 )
+        if self._fault_plan is not None and self._in_flight:
+            # Armed runs settle the books: copies still in flight when every
+            # node finished (e.g. a retransmission racing its original) are
+            # drained as dropped, so the conservation invariant
+            # sent == delivered + dropped + lost holds at run end.  Fault-free
+            # runs keep the historical behaviour (leftovers stay in flight).
+            for stale in self._in_flight.values():
+                self._channel(stale.sender, stale.recipient).pop(stale.msg_id)
+                self.stats.messages_dropped += 1
+            self._in_flight.clear()
         self.stats.elapsed_time = max(
             (clock.now for clock in self._clocks.values()), default=0.0
         )

@@ -60,6 +60,13 @@ class ProtocolBlock(abc.ABC):
     def on_message(self, ctx: "BlockContext", sender: str, subtag: str, payload: Any) -> None:
         """Called for every message addressed to this block."""
 
+    def on_timer(self, ctx: "BlockContext", subtag: str) -> None:
+        """Called when a timer set via :meth:`BlockContext.set_timer` fires.
+
+        The default ignores timers — only blocks that opt into timeouts (the
+        batched consensus round timeout) override this.
+        """
+
     # -- completion ------------------------------------------------------------
     def complete(self, value: Any) -> None:
         """Record the block's output.  Subsequent calls are ignored (first wins)."""
@@ -136,6 +143,15 @@ class BlockContext:
         tag = f"{self.path}{TAG_SEPARATOR}{subtag}"
         self._node_ctx.broadcast(recipients, payload, tag=tag)
 
+    def set_timer(self, delay: float, subtag: str = "") -> None:
+        """Arm a virtual-time timer for this block.
+
+        After ``delay`` simulated seconds the block's
+        :meth:`ProtocolBlock.on_timer` fires with ``subtag``.  Timers for
+        blocks that completed in the meantime are dropped by the host.
+        """
+        self._node_ctx.set_timer(delay, f"{self.path}{TAG_SEPARATOR}{subtag}")
+
     # -- composition ----------------------------------------------------------------
     def spawn(
         self,
@@ -207,6 +223,8 @@ class BlockHost:
     def dispatch(self, node_ctx: NodeContext, message: Message) -> bool:
         """Route ``message`` to its block.  Returns True if it was consumed."""
         tag = message.tag
+        if message.is_timer():
+            return self._dispatch_timer(tag[len("__timer__/") :])
         if TAG_SEPARATOR not in tag:
             return False
         path, subtag = tag.split(TAG_SEPARATOR, 1)
@@ -218,6 +236,25 @@ class BlockHost:
             return True
         block, ctx, _ = entry
         block.on_message(ctx, message.sender, subtag, message.payload)
+        self._sweep()
+        return True
+
+    def _dispatch_timer(self, tag: str) -> bool:
+        """Route a block timer (tag already stripped of the timer prefix).
+
+        Timers never buffer: a timer for a completed block — or for a block of
+        a previous incarnation after a crash restart — is stale and dropped.
+        Timers without a block-path separator belong to the host node itself
+        and are left to ``on_other_message``.
+        """
+        if TAG_SEPARATOR not in tag:
+            return False
+        path, subtag = tag.split(TAG_SEPARATOR, 1)
+        entry = self._blocks.get(path)
+        if entry is None:
+            return True
+        block, ctx, _ = entry
+        block.on_timer(ctx, subtag)
         self._sweep()
         return True
 
@@ -274,10 +311,14 @@ class ProtocolNode(Node):
         self._root_factory = root_factory
         self._host: Optional[BlockHost] = None
         self._current_ctx: Optional[NodeContext] = None
+        #: True when the root block closed a round by timeout quorum instead of
+        #: a full view (see FrameworkConfig.round_timeout).
+        self.degraded = False
 
     # -- Node interface ---------------------------------------------------------
     def on_start(self, ctx: NodeContext) -> None:
         self._current_ctx = ctx
+        self.degraded = False  # a (re)start begins a fresh, fully-quorate run
         self._host = BlockHost(lambda: self._current_ctx, self.participants)
         self._host.activate(self._root_name, self._root_factory(), self._on_root_done)
 
@@ -292,4 +333,6 @@ class ProtocolNode(Node):
 
     # -- completion ----------------------------------------------------------------
     def _on_root_done(self, block: ProtocolBlock) -> None:
+        if getattr(block, "degraded", False):
+            self.degraded = True
         self.finish(block.result)

@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.common import stable_hash
 from repro.net.message import Message
+from repro.net.network import QuiescenceError
 from repro.net.node import Node, NodeContext
 
 __all__ = ["ThreadedNetwork"]
@@ -147,8 +148,13 @@ class ThreadedNetwork:
     def run(self, timeout: float = 60.0) -> Dict[str, Any]:
         """Start all nodes and block until they all finish (or ``timeout``).
 
-        Returns the outputs of finished nodes.  Raises the first worker exception,
-        if any, so test failures are not silently swallowed.
+        Returns the outputs of the finished nodes.  Raises the first worker
+        exception, if any, so test failures are not silently swallowed; a run
+        that is still not quiescent at ``timeout`` raises
+        :class:`~repro.net.network.QuiescenceError` naming the stuck nodes
+        and the undelivered mailbox backlog — the threaded counterpart of
+        ``SimNetwork``'s step-budget exhaustion, instead of silently
+        returning a partial output set.
         """
         self._errors: List[tuple] = []
         self.start_time = time.perf_counter()  # repro: noqa[RPA001] wall-clock run epoch of the threaded transport
@@ -164,7 +170,7 @@ class ThreadedNetwork:
                 break
             if self._errors:
                 break
-            time.sleep(self.poll_interval)
+            time.sleep(self.poll_interval)  # repro: noqa[RPA009] real-time transport really sleeps between polls
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout=1.0)
@@ -173,4 +179,13 @@ class ThreadedNetwork:
         if self._errors:
             node_id, exc = self._errors[0]
             raise RuntimeError(f"node {node_id!r} failed: {exc!r}") from exc
+        stuck = sorted(nid for nid, node in self._nodes.items() if not node.finished)
+        if stuck:
+            undelivered = sum(box.qsize() for box in self._mailboxes.values())
+            raise QuiescenceError(
+                f"threaded network did not quiesce within {timeout}s: "
+                f"{len(stuck)} node{'s' if len(stuck) != 1 else ''} still "
+                f"running ({', '.join(stuck)}), {undelivered} message"
+                f"{'s' if undelivered != 1 else ''} undelivered"
+            )
         return self.outputs()

@@ -144,6 +144,9 @@ class AuctionRun:
             elapsed_time=stats.elapsed_time,
             messages=stats.messages_delivered,
             bytes_transferred=stats.bytes_delivered,
+            degraded=any(
+                getattr(network.node(pid), "degraded", False) for pid in provider_ids
+            ),
         )
         observations = {
             uid: network.node(uid).output if network.node(uid).finished else None

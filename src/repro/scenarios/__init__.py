@@ -29,12 +29,25 @@ from repro.scenarios.dispatch import (
     WorkerPlan,
     resolve_workers,
 )
+from repro.scenarios.chaos import (
+    ChaosRecord,
+    ChaosResult,
+    ChaosSpec,
+    FaultSpec,
+    chaos_fingerprint,
+    chaos_from_dict,
+    chaos_to_dict,
+    chaos_with_overrides,
+    run_chaos,
+)
 from repro.scenarios.io import (
+    dump_chaos,
     dump_resilience,
     dump_spec,
     dump_sweep,
     dumps_toml,
     load_any,
+    load_chaos,
     load_resilience,
     load_spec,
     load_sweep,
@@ -96,12 +109,16 @@ __all__ = [
     "BUILTIN_SWEEPS",
     "BatchResult",
     "BidderSpec",
+    "ChaosRecord",
+    "ChaosResult",
+    "ChaosSpec",
     "ColumnarStoreBackend",
     "ComponentCache",
     "ComponentSpec",
     "ConfigSpec",
     "EXECUTOR_BACKENDS",
     "ExecutorBackend",
+    "FaultSpec",
     "JsonlStoreBackend",
     "LATENCIES",
     "MECHANISMS",
@@ -125,7 +142,12 @@ __all__ = [
     "WORKLOADS",
     "WorkerPlan",
     "builtin_sweep",
+    "chaos_fingerprint",
+    "chaos_from_dict",
+    "chaos_to_dict",
+    "chaos_with_overrides",
     "convert_journal",
+    "dump_chaos",
     "dump_resilience",
     "dump_spec",
     "dump_sweep",
@@ -133,6 +155,7 @@ __all__ = [
     "figure4_sweep",
     "figure5_sweep",
     "load_any",
+    "load_chaos",
     "load_resilience",
     "load_spec",
     "load_sweep",
@@ -143,6 +166,7 @@ __all__ = [
     "resilience_to_dict",
     "resilience_with_overrides",
     "resolve_workers",
+    "run_chaos",
     "run_file",
     "run_resilience",
     "run_scenario",

@@ -1,0 +1,903 @@
+"""Chaos audits: scenarios under injected faults, with invariants machine-checked.
+
+The fault plane (:mod:`repro.net.faults`) can perturb any simulated run; this
+module makes those perturbations *first-class and sweepable*, mirroring the
+resilience layer one-to-one:
+
+* :class:`FaultSpec` — one fault model from the :data:`~repro.net.faults.FAULTS`
+  registry, referenced by string kind (``loss``, ``duplicate``, ``reorder``,
+  ``latency_spike``, ``partition``, ``crash``, ``torn_append``, plus anything
+  user-registered);
+* :class:`ChaosSpec` — a frozen, JSON/TOML-serializable audit: a base
+  :class:`~repro.scenarios.spec.ScenarioSpec` (``distributed`` runner), the
+  fault grid, the :class:`~repro.net.faults.RecoveryPolicy` and the seeds;
+* :class:`ChaosRecord` — the uniform, JSON-round-trippable result of one cell
+  ``fault x seed``: the full fault-plane counter set plus one verdict per
+  audited invariant;
+* :func:`run_chaos` — the executor: sequential, or parallel over worker
+  processes (``workers=N``) with journaled resume and the crash-tolerant
+  ``failure_mode="quarantine"`` of the sweep engine.
+
+Invariants audited per cell
+---------------------------
+
+==================  ===========================================================
+verdict field       what it checks
+==================  ===========================================================
+``terminated``      the run quiesced (no livelock within the step budget);
+                    aborting with ⊥ still terminates — hanging does not
+``conservation_ok``  ``sent == delivered + dropped + lost`` on the final
+                    network statistics (the fault plane settles the books)
+``replay_ok``       a second run of the identical cell — fresh fault plan,
+                    fresh network — reproduces the outcome, every counter and
+                    the fault journal digest bit-for-bit
+``store_repair_ok``  for ``torn_append`` faults: a results journal torn mid-
+                    append repairs on resume and completes to the full record
+                    set (vacuously true for network-level faults)
+==================  ===========================================================
+
+A cell is ``ok`` exactly when all four hold.  Everything in a record except
+wall-clock-measured elapsed time is a pure function of ``(spec, seed)``: the
+fault schedule is drawn from the plan's own seeded RNG and journaled, and
+:meth:`~repro.net.faults.FaultPlan.digest` is what the determinism lock
+compares across ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.community.workload import default_provider_ids
+from repro.core.framework import DistributedAuctioneer
+from repro.net.faults import FAULTS, FaultPlan, RecoveryPolicy, make_fault
+from repro.net.network import QuiescenceError
+from repro.scenarios.runner import (
+    RunRecord,
+    build_latency_model,
+    build_mechanism,
+    build_topology,
+    build_workload,
+    record_from_outcome,
+)
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    SpecError,
+    spec_from_dict,
+    spec_to_dict,
+    spec_with_overrides,
+)
+
+__all__ = [
+    "FaultSpec",
+    "ChaosSpec",
+    "ChaosRecord",
+    "ChaosResult",
+    "ChaosContext",
+    "chaos_from_dict",
+    "chaos_to_dict",
+    "chaos_with_overrides",
+    "chaos_fingerprint",
+    "run_chaos",
+    "execute_cells",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault model from the ``FAULTS`` registry, referenced by kind.
+
+    In spec files a fault is either a bare string (``"loss"``, all defaults)
+    or a table whose remaining keys are the model parameters
+    (``{"kind": "loss", "rate": 0.2}``); an optional ``label`` overrides the
+    display label echoed into every record.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    RESERVED_KEYS = frozenset({"kind", "label"})
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise SpecError("faults.kind", "fault kind must be a non-empty string")
+        object.__setattr__(self, "params", dict(self.params) if self.params else {})
+        reserved = self.RESERVED_KEYS & set(self.params)
+        if reserved:
+            raise SpecError(
+                "faults",
+                f"fault parameters may not use the reserved keys {sorted(reserved)}",
+            )
+
+    @property
+    def display_label(self) -> str:
+        if self.label is not None:
+            return self.label
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{k}={self.params[k]}" for k in sorted(self.params))
+        return f"{self.kind}({inner})"
+
+    def build(self, path: str):
+        """Instantiate the fault model (path-precise ``SpecError`` on failure)."""
+        return make_fault(self.kind, dict(self.params), path)
+
+    @staticmethod
+    def from_value(value: Any, path: str) -> "FaultSpec":
+        if isinstance(value, FaultSpec):
+            return value
+        if isinstance(value, str):
+            return FaultSpec(value)
+        if isinstance(value, Mapping):
+            data = dict(value)
+            kind = data.pop("kind", None)
+            if not isinstance(kind, str) or not kind:
+                raise SpecError(path, "expected a 'kind' string in the fault table")
+            label = data.pop("label", None)
+            if label is not None and not isinstance(label, str):
+                raise SpecError(f"{path}.label", "fault label must be a string")
+            try:
+                return FaultSpec(kind, data, label)
+            except SpecError as exc:
+                raise SpecError(path, exc.message) from exc
+        raise SpecError(path, f"expected a string or a table, got {type(value).__name__}")
+
+    def to_value(self) -> Any:
+        if not self.params and self.label is None:
+            return self.kind
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.label is not None:
+            data["label"] = self.label
+        data.update(self.params)
+        return data
+
+
+# ------------------------------------------------------------- recovery policy --
+_RECOVERY_KEYS = ("enabled", "max_retries", "base_backoff", "backoff_factor")
+
+
+def _recovery_from_value(value: Any, path: str = "recovery") -> RecoveryPolicy:
+    """Parse a recovery table into a :class:`~repro.net.faults.RecoveryPolicy`."""
+    if isinstance(value, RecoveryPolicy):
+        return value
+    if not isinstance(value, Mapping):
+        raise SpecError(path, f"expected a table, got {type(value).__name__}")
+    unknown = set(value) - set(_RECOVERY_KEYS)
+    if unknown:
+        raise SpecError(
+            f"{path}.{sorted(unknown)[0]}",
+            f"unknown recovery key; expected one of {', '.join(_RECOVERY_KEYS)}",
+        )
+    kwargs: Dict[str, Any] = {}
+    if "enabled" in value:
+        if not isinstance(value["enabled"], bool):
+            raise SpecError(f"{path}.enabled", "expected a boolean")
+        kwargs["enabled"] = value["enabled"]
+    if "max_retries" in value:
+        retries = value["max_retries"]
+        if isinstance(retries, bool) or not isinstance(retries, int):
+            raise SpecError(f"{path}.max_retries", "expected an integer")
+        kwargs["max_retries"] = retries
+    for key in ("base_backoff", "backoff_factor"):
+        if key in value:
+            number = value[key]
+            if isinstance(number, bool) or not isinstance(number, (int, float)):
+                raise SpecError(f"{path}.{key}", "expected a number")
+            kwargs[key] = float(number)
+    try:
+        return RecoveryPolicy(**kwargs)
+    except ValueError as exc:
+        raise SpecError(path, str(exc)) from exc
+
+
+def _recovery_to_value(policy: RecoveryPolicy) -> Dict[str, Any]:
+    return {
+        "enabled": policy.enabled,
+        "max_retries": policy.max_retries,
+        "base_backoff": policy.base_backoff,
+        "backoff_factor": policy.backoff_factor,
+    }
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A complete, serializable description of one chaos audit.
+
+    Attributes:
+        name: free-form label, echoed into every record and the journal manifest.
+        base: the scenario being perturbed.  Must use the ``distributed``
+            runner — the fault plane lives on the provider protocol's network.
+        faults: the fault grid; each entry becomes one row of cells (one per
+            seed).  At least one fault is required: a fault-free grid would
+            vacuously report a clean audit (the *empty-plan differential lock*
+            lives in the network test suite instead).
+        recovery: the retransmission policy armed alongside every fault
+            (``None`` means the :class:`~repro.net.faults.RecoveryPolicy`
+            defaults).
+        seeds: master seeds; each reruns the whole fault grid with the base
+            scenario reseeded.  Empty means the base scenario's own seed.
+    """
+
+    name: str = "chaos"
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    faults: Tuple[FaultSpec, ...] = ()
+    recovery: Optional[RecoveryPolicy] = None
+    seeds: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, Mapping):
+            object.__setattr__(self, "base", spec_from_dict(self.base))
+        if self.base.runner != "distributed":
+            raise SpecError(
+                "base.runner",
+                "chaos audits inject faults into the provider protocol's network, "
+                f"which only the 'distributed' runner hosts (got runner={self.base.runner!r})",
+            )
+        object.__setattr__(
+            self,
+            "faults",
+            tuple(
+                FaultSpec.from_value(fault, f"faults[{i}]")
+                for i, fault in enumerate(self.faults)
+            ),
+        )
+        if not self.faults:
+            raise SpecError(
+                "faults",
+                "a chaos audit needs at least one fault model; registered kinds: "
+                + ", ".join(FAULTS.available()),
+            )
+        if self.recovery is not None and not isinstance(self.recovery, RecoveryPolicy):
+            object.__setattr__(self, "recovery", _recovery_from_value(self.recovery))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+
+    def effective_seeds(self) -> Tuple[int, ...]:
+        return self.seeds if self.seeds else (self.base.seed,)
+
+    def effective_recovery(self) -> RecoveryPolicy:
+        return self.recovery if self.recovery is not None else RecoveryPolicy()
+
+    def cells(self) -> List[int]:
+        """The ordered fault grid: one point per fault (seeds are instances)."""
+        return list(range(len(self.faults)))
+
+
+# ---------------------------------------------------------------------- parsing --
+_CHAOS_KEYS = {"name", "base", "faults", "recovery", "seeds"}
+
+
+def chaos_from_dict(data: Mapping[str, Any]) -> ChaosSpec:
+    """Parse a chaos spec from a plain (JSON/TOML-shaped) mapping.
+
+    Raises :class:`SpecError` with a dotted path to the offending key on any
+    unknown key, wrong type, or invalid value.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecError("", f"expected a table at the top level, got {type(data).__name__}")
+    unknown = set(data) - _CHAOS_KEYS
+    if unknown:
+        raise SpecError(
+            sorted(unknown)[0],
+            f"unknown chaos key; expected one of {', '.join(sorted(_CHAOS_KEYS))}",
+        )
+    kwargs: Dict[str, Any] = {}
+    if "name" in data:
+        name = data["name"]
+        if not isinstance(name, str):
+            raise SpecError("name", f"expected a string, got {type(name).__name__}")
+        kwargs["name"] = name
+    if "base" in data:
+        base = data["base"]
+        if not isinstance(base, Mapping):
+            raise SpecError("base", f"expected a table, got {type(base).__name__}")
+        try:
+            kwargs["base"] = spec_from_dict(base)
+        except SpecError as exc:
+            raise SpecError(f"base.{exc.path}" if exc.path else "base", exc.message) from exc
+    if "faults" in data:
+        entries = data["faults"]
+        if not isinstance(entries, (list, tuple)):
+            raise SpecError("faults", f"expected a list, got {type(entries).__name__}")
+        kwargs["faults"] = tuple(
+            FaultSpec.from_value(entry, f"faults[{i}]") for i, entry in enumerate(entries)
+        )
+    if "recovery" in data and data["recovery"] is not None:
+        kwargs["recovery"] = _recovery_from_value(data["recovery"])
+    if "seeds" in data:
+        entries = data["seeds"]
+        if not isinstance(entries, (list, tuple)) or not all(
+            isinstance(s, int) and not isinstance(s, bool) for s in entries
+        ):
+            raise SpecError("seeds", "expected a list of integers")
+        kwargs["seeds"] = tuple(entries)
+    return ChaosSpec(**kwargs)
+
+
+def chaos_to_dict(spec: ChaosSpec) -> Dict[str, Any]:
+    """Serialize a chaos spec to a plain mapping (no ``None``, TOML-safe)."""
+    data: Dict[str, Any] = {"name": spec.name, "base": spec_to_dict(spec.base)}
+    data["faults"] = [fault.to_value() for fault in spec.faults]
+    if spec.recovery is not None:
+        data["recovery"] = _recovery_to_value(spec.recovery)
+    if spec.seeds:
+        data["seeds"] = list(spec.seeds)
+    return data
+
+
+def chaos_with_overrides(spec: ChaosSpec, overrides: Mapping[str, Any]) -> ChaosSpec:
+    """A copy of ``spec`` with dotted-path overrides applied (re-validated).
+
+    Shares the override grammar of the scenario layer: ``base.users=30`` digs
+    into the base scenario, ``recovery.max_retries=5`` / ``seeds=[0,1]``
+    replace audit fields.
+    """
+    from repro.scenarios.spec import apply_overrides
+
+    if not overrides:
+        return spec
+    return chaos_from_dict(apply_overrides(chaos_to_dict(spec), overrides))
+
+
+def chaos_fingerprint(spec: ChaosSpec) -> str:
+    """A stable digest of the audit's full canonical spec (for journal manifests)."""
+    payload = json.dumps(chaos_to_dict(spec), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- records --
+@dataclass(frozen=True)
+class ChaosRecord:
+    """The uniform result of one chaos cell: one fault model x one seed.
+
+    All fields are JSON scalars; the :meth:`to_dict` / :meth:`from_dict` round
+    trip is lossless.  With ``measure_compute=false`` every field — the
+    counters, the verdicts and the virtual ``elapsed_seconds`` — is a pure
+    function of ``(spec, seed)``; ``fault_digest`` additionally pins the
+    injected schedule itself (the determinism lock compares it across
+    processes and ``PYTHONHASHSEED`` values).
+    """
+
+    name: str
+    mechanism: str
+    fault: str
+    label: str
+    instance: int
+    seed: int
+    users: int
+    providers: int
+    executors: int
+    k: int
+    recovery_enabled: bool
+    max_retries: int
+    aborted: bool
+    degraded: bool
+    terminated: bool
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    messages_lost: int
+    faults_injected: int
+    retransmissions: int
+    duplicates_suppressed: int
+    conservation_ok: bool
+    replay_ok: bool
+    store_repair_ok: bool
+    fault_digest: str
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """The cell's verdict: every audited invariant held."""
+        return (
+            self.terminated
+            and self.conservation_ok
+            and self.replay_ok
+            and self.store_repair_ok
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "mechanism": self.mechanism,
+            "fault": self.fault,
+            "label": self.label,
+            "instance": self.instance,
+            "seed": self.seed,
+            "users": self.users,
+            "providers": self.providers,
+            "executors": self.executors,
+            "k": self.k,
+            "recovery_enabled": self.recovery_enabled,
+            "max_retries": self.max_retries,
+            "aborted": self.aborted,
+            "degraded": self.degraded,
+            "terminated": self.terminated,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_lost": self.messages_lost,
+            "faults_injected": self.faults_injected,
+            "retransmissions": self.retransmissions,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "conservation_ok": self.conservation_ok,
+            "replay_ok": self.replay_ok,
+            "store_repair_ok": self.store_repair_ok,
+            "fault_digest": self.fault_digest,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ChaosRecord":
+        return ChaosRecord(
+            name=data["name"],
+            mechanism=data["mechanism"],
+            fault=data["fault"],
+            label=data["label"],
+            instance=data["instance"],
+            seed=data["seed"],
+            users=data["users"],
+            providers=data["providers"],
+            executors=data["executors"],
+            k=data["k"],
+            recovery_enabled=data["recovery_enabled"],
+            max_retries=data["max_retries"],
+            aborted=data["aborted"],
+            degraded=data["degraded"],
+            terminated=data["terminated"],
+            messages_sent=data["messages_sent"],
+            messages_delivered=data["messages_delivered"],
+            messages_dropped=data["messages_dropped"],
+            messages_lost=data["messages_lost"],
+            faults_injected=data["faults_injected"],
+            retransmissions=data["retransmissions"],
+            duplicates_suppressed=data["duplicates_suppressed"],
+            conservation_ok=data["conservation_ok"],
+            replay_ok=data["replay_ok"],
+            store_repair_ok=data["store_repair_ok"],
+            fault_digest=data["fault_digest"],
+            elapsed_seconds=data["elapsed_seconds"],
+        )
+
+
+@dataclass
+class ChaosResult:
+    """All records of one audit, in grid order, plus the aggregate verdict."""
+
+    name: str
+    base: Dict[str, Any]
+    records: List[ChaosRecord] = field(default_factory=list)
+    executed_cells: int = 0
+    resumed_cells: int = 0
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def failing_cells(self) -> List[ChaosRecord]:
+        return [record for record in self.records if not record.ok]
+
+    def is_clean(self) -> bool:
+        """True when every cell held every invariant and nothing was quarantined."""
+        return not self.failing_cells and not self.quarantined
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "chaos": self.name,
+            "base": self.base,
+            "clean": self.is_clean(),
+            "records": [record.to_dict() for record in self.records],
+        }
+        if self.quarantined:
+            data["quarantined"] = [dict(entry) for entry in self.quarantined]
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# --------------------------------------------------------------------- execution --
+class ChaosContext:
+    """Per-executor state of one audit: components and per-seed workloads.
+
+    One instance backs one executor — the sequential loop or one parallel
+    worker's chunk.  It memoises the mechanism once per audit and the workload
+    / bids / latency model / provider ids once per seed; the fault plan and
+    the network are deliberately rebuilt per run (a plan is stateful, and the
+    replay invariant *requires* a from-scratch second run).  :meth:`close`
+    releases engine resources (idempotent); always call it — or use the
+    context as a context manager.
+    """
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+        self._mechanism = None
+        self._per_seed: Dict[int, Dict[str, Any]] = {}
+
+    # -- memoised components ------------------------------------------------------
+    @property
+    def mechanism(self):
+        if self._mechanism is None:
+            self._mechanism = build_mechanism(self.spec.base)
+        return self._mechanism
+
+    def _seed_state(self, instance: int) -> Dict[str, Any]:
+        state = self._per_seed.get(instance)
+        if state is not None:
+            return state
+        seed = self.spec.effective_seeds()[instance]
+        scenario = spec_with_overrides(self.spec.base, {"seed": seed})
+        topology = build_topology(scenario)
+        if topology is not None:
+            provider_ids = list(topology.gateways)
+            if len(provider_ids) != scenario.providers:
+                raise SpecError(
+                    "base.topology",
+                    f"topology produced {len(provider_ids)} gateways "
+                    f"for providers={scenario.providers}",
+                )
+        else:
+            provider_ids = default_provider_ids(scenario.providers)
+        executor_ids = (
+            provider_ids[: scenario.executors]
+            if scenario.executors is not None
+            else provider_ids
+        )
+        workload = build_workload(scenario)
+        bids = workload.generate(
+            scenario.users, scenario.providers, provider_ids=provider_ids, instance=0
+        )
+        state = {
+            "scenario": scenario,
+            "latency": build_latency_model(scenario, topology),
+            "executor_ids": executor_ids,
+            "bids": bids,
+        }
+        self._per_seed[instance] = state
+        return state
+
+    # -- one perturbed run --------------------------------------------------------
+    def _run_once(self, point: int, instance: int) -> Dict[str, Any]:
+        """One from-scratch run of the cell: fresh plan, fresh network."""
+        state = self._seed_state(instance)
+        scenario: ScenarioSpec = state["scenario"]
+        model = self.spec.faults[point].build(f"faults[{point}]")
+        plan = FaultPlan(
+            [model], seed=scenario.seed, recovery=self.spec.effective_recovery()
+        )
+        auctioneer = DistributedAuctioneer(
+            self.mechanism,
+            providers=state["executor_ids"],
+            config=scenario.config.to_config(),
+            latency_model=state["latency"],
+            seed=scenario.seed,
+            measure_compute=scenario.measure_compute,
+            fault_plan=plan,
+        )
+        try:
+            report = auctioneer.run_from_bids(state["bids"])
+        except QuiescenceError:
+            return {"terminated": False, "report": None, "plan": plan}
+        return {"terminated": True, "report": report, "plan": plan}
+
+    @staticmethod
+    def _replay_payload(run: Dict[str, Any], measure_compute: bool) -> Tuple[Any, ...]:
+        """Everything the replay invariant compares between the two runs."""
+        if not run["terminated"]:
+            return ("hung", run["plan"].digest())
+        report = run["report"]
+        stats = report.stats
+        payload: Tuple[Any, ...] = (
+            run["plan"].digest(),
+            report.outcome.aborted,
+            report.outcome.degraded,
+            stats.messages_sent,
+            stats.messages_delivered,
+            stats.messages_dropped,
+            stats.messages_lost,
+            stats.faults_injected,
+            stats.retransmissions,
+            stats.duplicates_suppressed,
+        )
+        if not measure_compute:
+            # Virtual clocks are deterministic; measured handler CPU is not.
+            payload += (report.outcome.elapsed_time,)
+        return payload
+
+    # -- cells ---------------------------------------------------------------------
+    def run_cell(self, point: int, instance: int) -> ChaosRecord:
+        """Run one ``fault x seed`` cell (twice: the replay invariant needs both)."""
+        state = self._seed_state(instance)
+        scenario: ScenarioSpec = state["scenario"]
+        fault = self.spec.faults[point]
+        recovery = self.spec.effective_recovery()
+
+        first = self._run_once(point, instance)
+        second = self._run_once(point, instance)
+        replay_ok = self._replay_payload(
+            first, scenario.measure_compute
+        ) == self._replay_payload(second, scenario.measure_compute)
+
+        terminated = first["terminated"] and second["terminated"]
+        if first["terminated"]:
+            report = first["report"]
+            stats = report.stats
+            conservation_ok = stats.messages_sent == (
+                stats.messages_delivered + stats.messages_dropped + stats.messages_lost
+            )
+            aborted = report.outcome.aborted
+            degraded = report.outcome.degraded
+            elapsed = report.outcome.elapsed_time
+            counters = (
+                stats.messages_sent,
+                stats.messages_delivered,
+                stats.messages_dropped,
+                stats.messages_lost,
+                stats.faults_injected,
+                stats.retransmissions,
+                stats.duplicates_suppressed,
+            )
+            record = record_from_outcome(
+                scenario, instance, report.outcome, self.mechanism, len(state["executor_ids"])
+            )
+        else:
+            conservation_ok = False
+            aborted = True
+            degraded = False
+            elapsed = 0.0
+            counters = (0, 0, 0, 0, 0, 0, 0)
+            record = None
+
+        store_repair_ok = True
+        torn = [m for m in first["plan"].torn_appends()]
+        if torn and record is not None:
+            store_repair_ok = all(
+                _torn_repair_ok(self.spec, record, model.drop_bytes) for model in torn
+            )
+
+        return ChaosRecord(
+            name=self.spec.name,
+            mechanism=self.mechanism.name,
+            fault=fault.kind,
+            label=fault.display_label,
+            instance=instance,
+            seed=scenario.seed,
+            users=scenario.users,
+            providers=scenario.providers,
+            executors=len(state["executor_ids"]),
+            k=scenario.config.k,
+            recovery_enabled=recovery.enabled,
+            max_retries=recovery.max_retries,
+            aborted=aborted,
+            degraded=degraded,
+            terminated=terminated,
+            messages_sent=counters[0],
+            messages_delivered=counters[1],
+            messages_dropped=counters[2],
+            messages_lost=counters[3],
+            faults_injected=counters[4],
+            retransmissions=counters[5],
+            duplicates_suppressed=counters[6],
+            conservation_ok=conservation_ok,
+            replay_ok=replay_ok,
+            store_repair_ok=store_repair_ok,
+            fault_digest=first["plan"].digest(),
+            elapsed_seconds=elapsed,
+        )
+
+    # -- lifecycle ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources the context created (idempotent)."""
+        mechanism, self._mechanism = self._mechanism, None
+        if mechanism is not None:
+            close = getattr(mechanism, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ChaosContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _torn_repair_ok(spec: ChaosSpec, record: RunRecord, drop_bytes: int) -> bool:
+    """The ``torn_append`` invariant: a torn journal repairs on resume.
+
+    Journals two copies of the cell's record, tears ``drop_bytes`` off the
+    file tail (the crash-mid-append signature), then resumes: the repaired
+    journal must return a bit-identical prefix of what was appended, and
+    re-appending the missing rounds must complete it to the full record set.
+    The journal lives in a throwaway directory; nothing about the cell's
+    verdict depends on the path.
+    """
+    from repro.scenarios.store import JsonlStoreBackend
+
+    fingerprint = chaos_fingerprint(spec) + ":torn"
+    records = {(0, 0): record, (0, 1): record}
+    workdir = tempfile.mkdtemp(prefix="repro-chaos-torn-")
+    try:
+        path = os.path.join(workdir, "journal.jsonl")
+        backend = JsonlStoreBackend(path, record_type=RunRecord)
+        backend.begin(spec.base, total_rounds=2, fingerprint=fingerprint)
+        for (point, instance), row in sorted(records.items()):
+            backend.append(point, instance, row)
+        backend.close()
+
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, size - drop_bytes))
+
+        backend = JsonlStoreBackend(path, record_type=RunRecord)
+        completed = backend.begin(
+            spec.base, total_rounds=2, resume=True, fingerprint=fingerprint
+        )
+        if set(completed) - set(records):
+            return False
+        if any(completed[key] != records[key] for key in completed):
+            return False
+        for key in sorted(set(records) - set(completed)):
+            backend.append(key[0], key[1], records[key])
+        backend.close()
+
+        _manifest, final = JsonlStoreBackend(path, record_type=RunRecord).read(
+            expected_fingerprint=fingerprint
+        )
+        return final == records
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def execute_cells(
+    spec: ChaosSpec, cells: Sequence[Tuple[int, int]]
+) -> Iterator[Tuple[int, int, ChaosRecord]]:
+    """Run the given ``(point, instance)`` cells through one chaos context.
+
+    Shared by the sequential path and the parallel workers
+    (:func:`repro.scenarios.chaos_parallel.execute_chunk`), so the two cannot
+    drift apart on how components are resolved or seeds memoised.  Cells are
+    executed grouped by seed so each seed's workload is generated exactly
+    once, whatever order the caller passed.
+    """
+    ordered = sorted(cells, key=lambda cell: (cell[1], cell[0]))
+    with ChaosContext(spec) as context:
+        for point, instance in ordered:
+            yield point, instance, context.run_cell(point, instance)
+
+
+def run_chaos(
+    spec: ChaosSpec,
+    *,
+    workers: Union[None, int, str] = None,
+    backend: Optional[str] = None,
+    store=None,
+    store_format: Optional[str] = None,
+    resume: bool = False,
+    failure_mode: str = "raise",
+) -> ChaosResult:
+    """Run the full fault grid and collect the records in grid order.
+
+    Args:
+        spec: the audit specification.
+        workers: run cells in a pool of worker processes (``"auto"`` sizes the
+            pool from the CPUs this process may actually use; see
+            :func:`~repro.scenarios.dispatch.resolve_workers`).  Chunks are
+            grouped by seed so workload generation stays amortised; records
+            are bit-identical to the sequential path on all deterministic
+            fields, in the same grid order.
+        backend: dispatch parallel chunks through a named
+            :data:`~repro.scenarios.dispatch.EXECUTOR_BACKENDS` entry instead
+            of the default local ``"process"`` pool.
+        store: a results journal — a path or a
+            :class:`~repro.scenarios.store.ResultsStore` — appended to as cells
+            complete; doubles as the audit artifact and the ``resume``
+            checkpoint.
+        store_format: the :data:`~repro.scenarios.store.STORE_BACKENDS` file
+            format for a fresh journal (existing journals are sniffed).
+        resume: with ``store``, skip cells the journal already holds (its
+            manifest must match this audit) and run only the missing ones.
+        failure_mode: ``"raise"`` (default) fails fast on a worker error;
+            ``"quarantine"`` opts into the crash-tolerant executor — bounded
+            chunk retries, worker death survived, and cells that keep failing
+            recorded in :attr:`ChaosResult.quarantined` (and journaled) while
+            the rest of the grid completes.
+    """
+    from repro.scenarios.dispatch import ChunkQuarantine, resolve_workers
+
+    if failure_mode not in ("raise", "quarantine"):
+        raise SpecError(
+            "failure_mode",
+            f"failure_mode must be 'raise' or 'quarantine', got {failure_mode!r}",
+        )
+    plan = resolve_workers(workers, backend=backend)
+    # Resolve every fault model up front (and discard the results): a typo'd
+    # fault kind or bad parameter fails with its path-precise SpecError here,
+    # before any journal is opened or simulation runs.
+    for index, fault in enumerate(spec.faults):
+        fault.build(f"faults[{index}]")
+    cells = spec.cells()
+    seeds = spec.effective_seeds()
+
+    journal = _as_store(store, store_format)
+    completed: Dict[Tuple[int, int], ChaosRecord] = {}
+    if journal is not None:
+        completed = journal.begin(
+            spec,
+            total_rounds=len(cells) * len(seeds),
+            resume=resume,
+            fingerprint=chaos_fingerprint(spec),
+        )
+
+    pending = [
+        (point, instance)
+        for point in cells
+        for instance in range(len(seeds))
+        if (point, instance) not in completed
+    ]
+    fresh: Dict[Tuple[int, int], ChaosRecord] = {}
+    quarantined: List[Dict[str, Any]] = []
+    quarantined_keys: set = set()
+    try:
+        if plan.parallel and pending:
+            from repro.scenarios.chaos_parallel import execute_parallel
+
+            stream = execute_parallel(
+                spec, pending, plan.workers, plan.backend, failure_mode
+            )
+        else:
+            stream = execute_cells(spec, pending)
+        try:
+            for item in stream:
+                if isinstance(item, ChunkQuarantine):
+                    for q_point, q_instance in item.items:
+                        quarantined.append(
+                            {"point": q_point, "instance": q_instance, "error": item.error}
+                        )
+                        quarantined_keys.add((q_point, q_instance))
+                        if journal is not None:
+                            journal.append_quarantine(
+                                q_point, q_instance, item.error, item.traceback
+                            )
+                    continue
+                point, instance, record = item
+                fresh[(point, instance)] = record
+                if journal is not None:
+                    journal.append(point, instance, record)
+        finally:
+            stream.close()
+    finally:
+        if journal is not None:
+            journal.close()
+
+    result = ChaosResult(
+        name=spec.name,
+        base=spec_to_dict(spec.base),
+        executed_cells=len(fresh),
+        resumed_cells=len(completed),
+        quarantined=quarantined,
+    )
+    for point in cells:
+        for instance in range(len(seeds)):
+            record = fresh.get((point, instance))
+            if record is None and (point, instance) in quarantined_keys:
+                continue  # the executor gave up on this cell; no record exists
+            if record is None:
+                record = completed[(point, instance)]
+            result.records.append(record)
+    return result
+
+
+def _as_store(store, store_format=None):
+    if store is None:
+        return None
+    from repro.scenarios.store import ResultsStore
+
+    if isinstance(store, ResultsStore):
+        store.record_type = ChaosRecord
+        if store_format is not None:
+            store.format = store_format
+        return store
+    return ResultsStore(store, record_type=ChaosRecord, format=store_format)

@@ -1,0 +1,116 @@
+"""Parallel chaos execution: fault-grid cells dispatched through a backend.
+
+Cells are grouped into chunks by seed (the instance index) — per-seed state
+(workload generation, latency model, provider ids) is what a
+:class:`~repro.scenarios.chaos.ChaosContext` can amortise — then the largest
+chunks split toward ``workers * CHUNKS_PER_WORKER`` total, exactly like the
+sweep and resilience chunkers.  Workers rehydrate the spec from its
+``chaos_to_dict`` payload and run their cells through the shared
+:func:`~repro.scenarios.chaos.execute_cells`, so parallel records are
+bit-identical to sequential ones on every deterministic field.
+
+A chunk item is a bare ``(point, instance)`` cell.  That shape is the
+crash-tolerance contract with the dispatch layer: a worker failure raises
+:class:`~repro.scenarios.dispatch.ChunkExecutionError` whose
+``remaining_items`` are cells, so the crash-tolerant executor retries,
+bisects and ultimately quarantines *individual cells*, and the sentinel's
+``items`` unpack directly into ``(point, instance)`` pairs for
+``run_chaos``'s journal.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+import traceback
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.scenarios.dispatch import (
+    CHUNKS_PER_WORKER,
+    ChunkExecutionError,
+    create_backend,
+    split_chunks,
+)
+from repro.scenarios.chaos import (
+    ChaosContext,
+    ChaosRecord,
+    ChaosSpec,
+    chaos_from_dict,
+    chaos_to_dict,
+)
+
+__all__ = ["chunk_cells", "execute_chunk", "execute_parallel"]
+
+#: One unit of worker work: a (fault index, seed index) cell.
+Cell = Tuple[int, int]
+
+
+def chunk_cells(cells: Sequence[Cell], workers: int) -> List[List[Cell]]:
+    """Group pending cells into worker chunks, by seed first.
+
+    Cells of one seed start out in one chunk (they share the context's
+    per-seed state), then the largest chunks are split toward
+    ``workers * CHUNKS_PER_WORKER`` — a single-seed audit would otherwise
+    serialise.
+    """
+    grouped: Dict[int, List[Cell]] = {}
+    for point, instance in cells:
+        grouped.setdefault(instance, []).append((point, instance))
+    return split_chunks(list(grouped.values()), workers * CHUNKS_PER_WORKER)
+
+
+def execute_chunk(
+    payload: Dict[str, Any], cells: List[Cell]
+) -> List[Tuple[int, int, ChaosRecord]]:
+    """Worker body: run one chunk of cells through a fresh chaos context.
+
+    A failure partway through raises
+    :class:`~repro.scenarios.dispatch.ChunkExecutionError` carrying the cells
+    completed so far, the worker traceback as a string, and the cells still
+    pending — the cell that raised first, then everything unreached — so the
+    crash-tolerant executor can retry and quarantine at cell granularity.
+    """
+    spec = chaos_from_dict(payload)
+    ordered = sorted(cells, key=lambda cell: (cell[1], cell[0]))
+    results: List[Tuple[int, int, ChaosRecord]] = []
+    context = ChaosContext(spec)
+    try:
+        for position, (point, instance) in enumerate(ordered):
+            try:
+                results.append((point, instance, context.run_cell(point, instance)))
+            except Exception as exc:
+                remaining: List[Cell] = list(ordered[position:])
+                try:  # carry the typed error along when it survives pickling
+                    cause = pickle.loads(pickle.dumps(exc))
+                except Exception:
+                    cause = None
+                raise ChunkExecutionError(
+                    results, traceback.format_exc(), remaining, cause
+                ) from None
+    finally:
+        context.close()
+    return results
+
+
+def execute_parallel(
+    spec: ChaosSpec,
+    cells: Sequence[Cell],
+    workers: int,
+    backend: str = "process",
+    failure_mode: str = "raise",
+) -> Iterator[Any]:
+    """Run pending cells through an executor backend, yielding as they land.
+
+    Yields ``(point, instance, record)`` triples in *completion* order —
+    ``run_chaos`` owns grid-order reassembly and journaling.  Under
+    ``failure_mode="quarantine"``, cells that keep failing stream back as
+    :class:`~repro.scenarios.dispatch.ChunkQuarantine` sentinels whose
+    ``items`` are ``(point, instance)`` pairs.
+    """
+    chunks = chunk_cells(cells, workers)
+    if not chunks:
+        return
+    worker = functools.partial(execute_chunk, chaos_to_dict(spec))
+    executor = create_backend(backend)
+    executor.failure_mode = failure_mode
+    yield from executor.execute(chunks, worker, workers)

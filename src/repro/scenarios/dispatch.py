@@ -38,8 +38,9 @@ from __future__ import annotations
 import multiprocessing
 import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Optional, Union
+from typing import Any, Callable, Iterator, List, Optional, Tuple, Union
 
 from repro.common import available_cpus
 from repro.scenarios.registry import Registry
@@ -47,6 +48,9 @@ from repro.scenarios.spec import ComponentSpec, SpecError
 
 __all__ = [
     "CHUNKS_PER_WORKER",
+    "MAX_CHUNK_RETRIES",
+    "ChunkExecutionError",
+    "ChunkQuarantine",
     "EXECUTOR_BACKENDS",
     "ExecutorBackend",
     "ProcessExecutorBackend",
@@ -66,6 +70,76 @@ WorkerSpec = Union[None, int, str]
 #: chunk is the unit of result return, so it bounds how much work a crash can
 #: lose between journal appends under parallel execution.
 CHUNKS_PER_WORKER = 4
+
+#: Literal retry bound for the crash-tolerant executor path: an item whose
+#: chunk has failed this many times is quarantined instead of retried again.
+#: A literal (not configuration) so the retry loop is provably bounded — the
+#: same contract lint rule RPA009 enforces on deterministic code.
+MAX_CHUNK_RETRIES = 2
+
+
+# ------------------------------------------------------------- failure model --
+class ChunkExecutionError(Exception):
+    """A worker chunk failed partway through; carries what survives the crash.
+
+    Raised *inside* a worker (see
+    :func:`repro.scenarios.parallel.execute_chunk`) so the parent loses
+    neither the rounds the chunk completed before the failure
+    (``partial_results``, yielded — and therefore journaled — before any
+    retry or re-raise) nor the original traceback (``traceback``, a string,
+    because traceback objects do not cross process boundaries).
+    ``remaining_items`` lists the work items that still need running: the
+    item that raised first, then every item the chunk never reached.
+    ``cause`` is the original exception object when it pickles losslessly
+    (``SpecError`` does), so fail-fast callers re-raise the path-precise
+    typed error instead of a stringly wrapper; ``None`` otherwise.
+    """
+
+    def __init__(
+        self,
+        partial_results: List[Any],
+        traceback_str: str,
+        remaining_items: List[Any],
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        self.partial_results = list(partial_results)
+        self.traceback = str(traceback_str)
+        self.remaining_items = list(remaining_items)
+        self.cause = cause
+        super().__init__(self.error)
+
+    @property
+    def error(self) -> str:
+        """The final line of the worker traceback — the exception itself."""
+        lines = [line for line in self.traceback.strip().splitlines() if line.strip()]
+        return lines[-1].strip() if lines else "worker chunk failed"
+
+    def __reduce__(self):
+        # Exceptions with a multi-argument __init__ do not survive pickling by
+        # default (unpickling re-invokes the class with ``self.args``); being
+        # shipped across the process boundary is this class's whole purpose.
+        return (
+            ChunkExecutionError,
+            (self.partial_results, self.traceback, self.remaining_items, self.cause),
+        )
+
+
+@dataclass(frozen=True)
+class ChunkQuarantine:
+    """Sentinel yielded in place of results for items given up on.
+
+    The crash-tolerant executor emits one of these into the result stream
+    when an item is still failing after :data:`MAX_CHUNK_RETRIES` attempts.
+    ``items`` holds the backend-agnostic work items exactly as the chunker
+    built them (for the sweep executor: ``(grid index, spec payload,
+    instances)`` tuples), so the caller can map them back to grid rounds,
+    journal the failure, and continue — ``--resume`` then re-executes only
+    the quarantined rounds.
+    """
+
+    items: Tuple[Any, ...]
+    error: str
+    traceback: str = ""
 
 
 # ------------------------------------------------------------- worker policy --
@@ -206,24 +280,140 @@ class ProcessExecutorBackend(ExecutorBackend):
     The pool prefers the ``fork`` start method where available, so workers
     inherit runtime registrations (mechanism/workload kinds a calling program
     registered after import).  On spawn-only platforms, custom kinds must be
-    registered at import time of a module the workers also import.  A worker
-    exception cancels the not-yet-started chunks and re-raises in the parent;
-    results of chunks that already completed have been yielded (and journaled)
-    by then, so a resumed run only repeats the unfinished chunks.
+    registered at import time of a module the workers also import.
+
+    Failure handling is governed by :attr:`failure_mode`:
+
+    * ``"raise"`` (the default) — a worker exception cancels the
+      not-yet-started chunks and re-raises in the parent carrying the
+      worker's traceback.  Results of chunks that already completed have been
+      yielded (and journaled) by then, and the partial results of the
+      *failing* chunk are yielded before the raise, so a resumed run only
+      repeats the rounds that never ran.
+    * ``"quarantine"`` — crash tolerance: a failing chunk is retried with a
+      literal bound (:data:`MAX_CHUNK_RETRIES`).  A worker exception
+      (:class:`ChunkExecutionError`) names the poison item, which retries
+      alone while its untried chunk-mates requeue with a clean slate.  A dead
+      worker process (``BrokenProcessPool``) breaks the *whole pool*, so the
+      shared-pool failure cannot be attributed: every unfinished chunk of the
+      broken pool replays in **isolation** — its own single-chunk pool —
+      where a repeat death is unambiguous evidence.  Isolated deaths charge
+      the chunk's failure count and bisect multi-item chunks until the
+      poison item is cornered; innocent chunk-mates complete on their
+      isolated replay without being charged.  An item still failing after
+      the bounded retries is yielded as a :class:`ChunkQuarantine` sentinel
+      instead of its results, so the caller can journal the failure and
+      keep going.
     """
 
+    #: "raise" (fail fast, the historical contract) or "quarantine" (crash
+    #: tolerance).  A class default overridden per instance by callers that
+    #: opted in — the sweep/chaos engines — so ``execute``'s signature stays
+    #: backend-agnostic.
+    failure_mode = "raise"
+
     def execute(self, chunks, worker, workers: int) -> Iterator[Any]:
+        pending: List[Tuple[List[Any], int]] = [
+            (list(chunk), 0) for chunk in chunks if chunk
+        ]
+        # Chunks suspected of killing their worker; each replays alone in a
+        # single-chunk pool so the next death is attributable.
+        suspects: List[Tuple[List[Any], int]] = []
+        # Each iteration runs one batch in one fresh pool (mandatory after a
+        # worker death broke the previous one).  Bounded: every isolated
+        # failure either bisects a chunk or raises its failure count toward
+        # MAX_CHUNK_RETRIES, and un-charged shared-pool breaks only move
+        # chunks into isolation.
+        while pending or suspects:
+            if pending:
+                batch, pending = pending, []
+                yield from self._run_batch(batch, pending, suspects, worker, workers)
+            else:
+                batch = [suspects.pop(0)]
+                yield from self._run_batch(batch, pending, suspects, worker, 1)
+
+    def _run_batch(self, batch, pending, suspects, worker, workers: int) -> Iterator[Any]:
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)), mp_context=_pool_context()
+            max_workers=min(workers, len(batch)), mp_context=_pool_context()
         ) as pool:
-            futures = [pool.submit(worker, chunk) for chunk in chunks]
+            futures = {
+                pool.submit(worker, items): (items, failures)
+                for items, failures in batch
+            }
             try:
                 for future in as_completed(futures):
-                    yield from future.result()
+                    items, failures = futures[future]
+                    try:
+                        yield from future.result()
+                    except ChunkExecutionError as exc:
+                        yield from exc.partial_results
+                        if self.failure_mode != "quarantine":
+                            if exc.cause is not None:
+                                # Re-raise the original, typed error; the
+                                # chunk context (partials journaled, worker
+                                # traceback) rides along as __cause__.
+                                raise exc.cause from exc
+                            raise RuntimeError(
+                                "sweep worker raised while executing a chunk "
+                                "(rounds completed before the failure were "
+                                "journaled); worker traceback:\n"
+                                f"{exc.traceback}"
+                            ) from exc
+                        yield from self._after_worker_error(pending, exc, failures)
+                    except BrokenProcessPool:
+                        if self.failure_mode != "quarantine":
+                            raise
+                        yield from self._after_worker_death(
+                            suspects, items, failures, alone=len(batch) == 1
+                        )
             except BaseException:
                 for future in futures:
                     future.cancel()
                 raise
+
+    def _after_worker_error(self, pending, exc: ChunkExecutionError, failures: int):
+        """Requeue after an in-worker exception: the poison item is known."""
+        if not exc.remaining_items:  # defensive: nothing left to run
+            return
+        poison, rest = exc.remaining_items[0], list(exc.remaining_items[1:])
+        if rest:
+            # The items after the poison one never ran; they are not suspects.
+            pending.append((rest, 0))
+        failures += 1
+        if failures >= MAX_CHUNK_RETRIES:
+            yield ChunkQuarantine(
+                items=(poison,), error=exc.error, traceback=exc.traceback
+            )
+        else:
+            pending.append(([poison], failures))
+
+    def _after_worker_death(self, suspects, items: List[Any], failures: int, alone: bool):
+        """Requeue after ``BrokenProcessPool``.
+
+        A break in a *shared* pool is unattributable — one dead worker fails
+        every in-flight future — so the chunk is not charged, only moved to
+        the isolation queue.  A break while running *alone* is attributable:
+        charge the chunk, bisect multi-item chunks to corner the poison
+        item, quarantine a single item that exhausted its retries.
+        """
+        if not alone:
+            suspects.append((items, failures))
+            return
+        failures += 1
+        if len(items) > 1:
+            # Bisect: the poison item is cornered in log2(n) replays, and
+            # its chunk-mates escape the quarantine with their results.
+            middle = (len(items) + 1) // 2
+            suspects.append((items[:middle], failures))
+            suspects.append((items[middle:], failures))
+        elif failures >= MAX_CHUNK_RETRIES:
+            yield ChunkQuarantine(
+                items=tuple(items),
+                error="worker process died while executing this item "
+                "(BrokenProcessPool)",
+            )
+        else:
+            suspects.append((items, failures))
 
 
 def _pool_context():

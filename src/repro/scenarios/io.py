@@ -41,10 +41,12 @@ __all__ = [
     "load_spec",
     "load_sweep",
     "load_resilience",
+    "load_chaos",
     "load_any",
     "dump_spec",
     "dump_sweep",
     "dump_resilience",
+    "dump_chaos",
     "dumps_toml",
 ]
 
@@ -125,6 +127,22 @@ def load_resilience(path: Union[str, os.PathLike]):
         raise SpecError(str(path), exc.args[0]) from exc
 
 
+def load_chaos(path: Union[str, os.PathLike]):
+    """Load a :class:`~repro.scenarios.chaos.ChaosSpec` from a file.
+
+    A chaos spec file is a ``base`` scenario table plus the audit fields
+    (``faults`` / ``recovery`` / ``seeds``); it is loaded only by the
+    ``chaos`` entry points, so ``load_any``'s sweep detection is unaffected.
+    """
+    from repro.scenarios.chaos import chaos_from_dict
+
+    data = _read_table(path)
+    try:
+        return chaos_from_dict(data)
+    except SpecError as exc:
+        raise SpecError(str(path), exc.args[0]) from exc
+
+
 def load_any(path: Union[str, os.PathLike]) -> Union[ScenarioSpec, SweepSpec]:
     """Load whichever spec the file holds.
 
@@ -154,6 +172,13 @@ def dump_resilience(spec, path: Union[str, os.PathLike]) -> None:
     from repro.scenarios.resilience import resilience_to_dict
 
     _write_table(resilience_to_dict(spec), path)
+
+
+def dump_chaos(spec, path: Union[str, os.PathLike]) -> None:
+    """Write a chaos spec to ``path`` as JSON or TOML (by extension)."""
+    from repro.scenarios.chaos import chaos_to_dict
+
+    _write_table(chaos_to_dict(spec), path)
 
 
 def _write_table(data: Dict[str, Any], path: Union[str, os.PathLike]) -> None:

@@ -34,10 +34,16 @@ from __future__ import annotations
 
 import functools
 import pickle
+import traceback
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.net.latency import LatencyModel
-from repro.scenarios.dispatch import CHUNKS_PER_WORKER, create_backend, split_chunks
+from repro.scenarios.dispatch import (
+    CHUNKS_PER_WORKER,
+    ChunkExecutionError,
+    create_backend,
+    split_chunks,
+)
 from repro.scenarios.runner import RunRecord
 from repro.scenarios.spec import ScenarioSpec, SpecError, spec_from_dict, spec_to_dict
 from repro.scenarios.sweep import (
@@ -89,15 +95,37 @@ def execute_chunk(
     """Worker body: run one chunk through a fresh component cache.
 
     The cache is closed in a ``finally`` so the worker-side pivot pool is
-    shut down even when a grid point raises mid-chunk.
+    shut down even when a grid point raises mid-chunk.  A failure partway
+    through the chunk raises :class:`~repro.scenarios.dispatch.ChunkExecutionError`
+    carrying the rounds completed so far (the parent journals them before
+    retrying or re-raising), the worker traceback as a string (traceback
+    objects do not pickle), and the work still pending — the round that
+    raised first, then everything the chunk never reached.
     """
     results: List[Tuple[int, int, RunRecord]] = []
     cache = ComponentCache()
     try:
-        for index, payload, instances in tasks:
-            spec = spec_from_dict(payload)
-            for instance, record in run_point_rounds(cache, spec, instances, latency_model):
-                results.append((index, instance, record))
+        for position, (index, payload, instances) in enumerate(tasks):
+            completed: List[int] = []
+            try:
+                spec = spec_from_dict(payload)
+                for instance, record in run_point_rounds(
+                    cache, spec, instances, latency_model
+                ):
+                    results.append((index, instance, record))
+                    completed.append(instance)
+            except Exception as exc:
+                remaining: List[ChunkTask] = [
+                    (index, payload, [i for i in instances if i not in completed])
+                ]
+                remaining.extend(tasks[position + 1 :])
+                try:  # carry the typed error along when it survives pickling
+                    cause = pickle.loads(pickle.dumps(exc))
+                except Exception:
+                    cause = None
+                raise ChunkExecutionError(
+                    results, traceback.format_exc(), remaining, cause
+                ) from None
     finally:
         cache.close()
     return results
@@ -108,6 +136,7 @@ def execute_parallel(
     workers: int,
     latency_model: Optional[LatencyModel] = None,
     backend: str = "process",
+    failure_mode: str = "raise",
 ) -> Iterator[Tuple[int, int, RunRecord]]:
     """Run pending grid rounds through an executor backend, yielding as they land.
 
@@ -117,6 +146,12 @@ def execute_parallel(
     :data:`~repro.scenarios.dispatch.EXECUTOR_BACKENDS` entry; the default
     local process pool cancels not-yet-started chunks on a worker exception,
     so a resumed run only repeats the unfinished chunks.
+
+    ``failure_mode="quarantine"`` opts the backend into crash tolerance:
+    failing chunks retry with a literal bound, a dead worker process is
+    survived in a fresh pool, and rounds that keep failing stream back as
+    :class:`~repro.scenarios.dispatch.ChunkQuarantine` sentinels instead of
+    records (the caller journals them and continues).
     """
     if latency_model is not None:
         try:
@@ -132,4 +167,6 @@ def execute_parallel(
     if not chunks:
         return
     worker = functools.partial(execute_chunk, latency_model=latency_model)
-    yield from create_backend(backend).execute(chunks, worker, workers)
+    executor = create_backend(backend)
+    executor.failure_mode = failure_mode
+    yield from executor.execute(chunks, worker, workers)

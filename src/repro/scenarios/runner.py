@@ -72,6 +72,11 @@ class RunRecord:
     winners: int
     total_paid: float
     total_received: float
+    # True when some provider closed an agreement round on a timeout quorum
+    # (FrameworkConfig.round_timeout).  Serialized only when set, so journals
+    # of ordinary runs — and their fingerprints — are byte-identical to
+    # records written before the field existed.
+    degraded: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -95,6 +100,8 @@ class RunRecord:
             "total_paid": self.total_paid,
             "total_received": self.total_received,
         }
+        if self.degraded:
+            data["degraded"] = True
         return data
 
     @staticmethod
@@ -124,6 +131,7 @@ class RunRecord:
             winners=data["winners"],
             total_paid=data["total_paid"],
             total_received=data["total_received"],
+            degraded=data.get("degraded", False),
         )
 
 
@@ -332,4 +340,5 @@ def record_from_outcome(
         winners=winners,
         total_paid=total_paid,
         total_received=total_received,
+        degraded=outcome.degraded,
     )

@@ -254,6 +254,49 @@ class Simulation:
             resume=resume,
         )
 
+    def run_chaos(
+        self,
+        faults: Iterable[Any],
+        recovery: Optional[Any] = None,
+        seeds: Optional[Iterable[int]] = None,
+        name: Optional[str] = None,
+        *,
+        workers: Union[None, int, str] = None,
+        store=None,
+        store_format: Optional[str] = None,
+        resume: bool = False,
+        failure_mode: str = "raise",
+    ):
+        """Chaos-audit this scenario under injected faults.
+
+        Builds a :class:`~repro.scenarios.chaos.ChaosSpec` with this scenario
+        as the base and runs the full ``fault x seed`` grid through
+        :func:`~repro.scenarios.chaos.run_chaos` — sequentially, or in a
+        ``workers``-process pool with journaled resume.  Every cell checks
+        delivery conservation, termination, bit-identical replay and (for
+        ``torn_append`` faults) journal repair-on-resume; ``faults`` entries
+        are fault kinds (``"loss"``) or parameter tables
+        (``{"kind": "loss", "rate": 0.2}``), ``recovery`` an optional
+        retransmission-policy table.
+        """
+        from repro.scenarios.chaos import ChaosSpec, run_chaos
+
+        spec = ChaosSpec(
+            name=name if name is not None else f"{self.spec.name}-chaos",
+            base=self.spec,
+            faults=tuple(faults),
+            recovery=recovery,
+            seeds=tuple(seeds) if seeds else (),
+        )
+        return run_chaos(
+            spec,
+            workers=workers,
+            store=store,
+            store_format=store_format,
+            resume=resume,
+            failure_mode=failure_mode,
+        )
+
 
 def run_file(path, overrides: Optional[Mapping[str, Any]] = None):
     """Run whatever spec the file holds: a scenario (one round) or a sweep.

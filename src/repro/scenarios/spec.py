@@ -118,8 +118,11 @@ class ConfigSpec:
     agreement_mode: str = "batched"
     use_common_coin: bool = True
     require_quorum: bool = True
+    round_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.round_timeout is not None:
+            object.__setattr__(self, "round_timeout", float(self.round_timeout))
         self.to_config()  # validate eagerly: a frozen spec is always runnable
 
     def to_config(self) -> FrameworkConfig:
@@ -132,6 +135,7 @@ class ConfigSpec:
                 agreement_mode=self.agreement_mode,
                 use_common_coin=self.use_common_coin,
                 require_quorum=self.require_quorum,
+                round_timeout=self.round_timeout,
             )
         except ValueError as exc:
             raise SpecError("config", str(exc)) from exc
@@ -468,6 +472,8 @@ def spec_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
     }
     if spec.config.num_groups is not None:
         config["num_groups"] = spec.config.num_groups
+    if spec.config.round_timeout is not None:
+        config["round_timeout"] = spec.config.round_timeout
     data["config"] = config
     data["latency"] = spec.latency.to_value()
     if spec.topology is not None:

@@ -180,6 +180,18 @@ class StoreBackend:
         """Journal one completed round (durable by the next flush point)."""
         self.append_raw(point, instance, record.to_dict())
 
+    def append_quarantine(
+        self, point: int, instance: int, error: str, traceback: str = ""
+    ) -> None:
+        """Journal a round the crash-tolerant executor gave up on.
+
+        Quarantine entries are diagnostics, not results: readers skip them
+        (they are *not* part of the completed set), which is exactly what
+        makes ``--resume`` re-execute quarantined rounds.  The default is a
+        no-op so backends without a free-form line format (columnar) stay
+        correct — the round is simply absent, which resumes identically.
+        """
+
     def read(
         self, expected_fingerprint: Optional[str] = None
     ) -> Tuple[Dict[str, Any], Dict[RoundKey, Any]]:
@@ -319,6 +331,28 @@ class JsonlStoreBackend(StoreBackend):
         self._write(
             {"kind": "record", "point": int(point), "instance": int(instance), "record": row}
         )
+
+    def append_quarantine(
+        self, point: int, instance: int, error: str, traceback: str = ""
+    ) -> None:
+        """Journal the failure record of a quarantined round.
+
+        ``_interpret`` skips non-``record`` kinds, so quarantine lines never
+        enter the completed set — a later ``--resume`` re-executes the round
+        — but the error and worker traceback survive in the artifact for
+        forensics (``grep '"kind":"quarantine"' journal.jsonl``).
+        """
+        if self._handle is None:
+            raise SpecError(self.path, "results journal is not open; call begin() first")
+        entry: Dict[str, Any] = {
+            "kind": "quarantine",
+            "point": int(point),
+            "instance": int(instance),
+            "error": str(error),
+        }
+        if traceback:
+            entry["traceback"] = str(traceback)
+        self._write(entry)
 
     def read_raw(
         self, expected_fingerprint: Optional[str] = None
@@ -537,6 +571,11 @@ class ResultsStore:
 
     def append(self, point: int, instance: int, record) -> None:
         self.backend.append(point, instance, record)
+
+    def append_quarantine(
+        self, point: int, instance: int, error: str, traceback: str = ""
+    ) -> None:
+        self.backend.append_quarantine(point, instance, error, traceback)
 
     def read(
         self, expected_fingerprint: Optional[str] = None

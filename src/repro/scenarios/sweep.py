@@ -49,6 +49,13 @@ class SweepResult:
     ``resumed_rounds`` counts the rounds served from a results journal
     (``run_sweep(..., store=..., resume=True)``).  For a store-less sweep
     ``executed_rounds == len(records)`` and ``resumed_rounds == 0``.
+
+    ``quarantined`` lists the rounds the crash-tolerant executor gave up on
+    (``run_sweep(..., failure_mode="quarantine")``): one ``{"point",
+    "instance", "error"}`` dict per skipped round, in completion order.
+    Those rounds have no :class:`RunRecord` in ``records``; with a store
+    they are journaled as ``quarantine`` entries and a later ``--resume``
+    re-executes exactly them.
     """
 
     name: str
@@ -56,13 +63,17 @@ class SweepResult:
     records: List[RunRecord] = field(default_factory=list)
     executed_rounds: int = 0
     resumed_rounds: int = 0
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "sweep": self.name,
             "base": self.base,
             "records": [record.to_dict() for record in self.records],
         }
+        if self.quarantined:
+            data["quarantined"] = [dict(entry) for entry in self.quarantined]
+        return data
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -141,6 +152,7 @@ def run_sweep(
     store=None,
     store_format: Optional[str] = None,
     resume: bool = False,
+    failure_mode: str = "raise",
 ) -> SweepResult:
     """Run every grid point of the sweep and collect the records in grid order.
 
@@ -176,9 +188,22 @@ def run_sweep(
             (the journal's manifest must match this sweep) and re-run only
             the missing ones.  Journaled records are returned bit-identically
             regardless of the journal's backend.
+        failure_mode: what a parallel run does when a worker fails.
+            ``"raise"`` (default) fails fast with the worker's traceback
+            after journaling every completed round; ``"quarantine"`` opts
+            into the crash-tolerant executor — bounded chunk retries, worker
+            death survived in a fresh pool, and rounds that keep failing
+            recorded in :attr:`SweepResult.quarantined` (and journaled) while
+            the rest of the grid completes.  The sequential path always
+            fails fast: there is no worker boundary to contain the failure.
     """
-    from repro.scenarios.dispatch import resolve_workers
+    from repro.scenarios.dispatch import ChunkQuarantine, resolve_workers
 
+    if failure_mode not in ("raise", "quarantine"):
+        raise SpecError(
+            "failure_mode",
+            f"failure_mode must be 'raise' or 'quarantine', got {failure_mode!r}",
+        )
     plan = resolve_workers(workers, backend=backend)
     if latency_model is not None:
         conflict = _latency_override_conflict(sweep)
@@ -208,15 +233,36 @@ def run_sweep(
         for index, spec in enumerate(scenarios)
     ]
     fresh: Dict[Tuple[int, int], RunRecord] = {}
+    quarantined: List[Dict[str, Any]] = []
+    quarantined_keys: set = set()
     try:
         if plan.parallel and any(t[2] for t in tasks):
             from repro.scenarios.parallel import execute_parallel
 
-            stream = execute_parallel(tasks, plan.workers, latency_model, plan.backend)
+            stream = execute_parallel(
+                tasks, plan.workers, latency_model, plan.backend, failure_mode
+            )
         else:
             stream = _execute_serial(tasks, latency_model)
         try:
-            for index, instance, record in stream:
+            for item in stream:
+                if isinstance(item, ChunkQuarantine):
+                    for q_index, _payload, q_instances in item.items:
+                        for q_instance in q_instances:
+                            quarantined.append(
+                                {
+                                    "point": q_index,
+                                    "instance": q_instance,
+                                    "error": item.error,
+                                }
+                            )
+                            quarantined_keys.add((q_index, q_instance))
+                            if journal is not None:
+                                journal.append_quarantine(
+                                    q_index, q_instance, item.error, item.traceback
+                                )
+                    continue
+                index, instance, record = item
                 fresh[(index, instance)] = record
                 if journal is not None:
                     journal.append(index, instance, record)
@@ -231,10 +277,13 @@ def run_sweep(
         base=spec_to_dict(sweep.base),
         executed_rounds=len(fresh),
         resumed_rounds=len(completed),
+        quarantined=quarantined,
     )
     for index, spec in enumerate(scenarios):
         for instance in range(spec.rounds):
             record = fresh.get((index, instance))
+            if record is None and (index, instance) in quarantined_keys:
+                continue  # the executor gave up on this round; no record exists
             if record is None:
                 record = completed[(index, instance)]
             result.records.append(record)

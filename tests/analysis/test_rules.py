@@ -392,6 +392,144 @@ class TestStoreBackendKind:
         assert lint_source(snippet, CORE_PATH, select=["RPA008"]).clean
 
 
+# ---------------------------------------------------------------------- RPA009 --
+UNBOUNDED_RETRY = """\
+def fetch(op):
+    while True:
+        try:
+            return op()
+        except OSError:
+            continue
+"""
+
+SLEEPING_RETRY = """\
+import time
+
+
+def fetch(op):
+    for attempt in range(3):
+        try:
+            return op()
+        except OSError:
+            time.sleep(0.1 * attempt)
+"""
+
+DYNAMIC_BOUND_RETRY = """\
+def fetch(op, attempts):
+    for attempt in range(attempts):
+        try:
+            return op()
+        except OSError:
+            continue
+"""
+
+LITERAL_BOUND_RETRY = """\
+def fetch(op):
+    for attempt in range(3):
+        try:
+            return op()
+        except OSError:
+            continue
+    raise TimeoutError
+"""
+
+CONSTANT_BOUND_RETRY = """\
+MAX_RETRIES = 4
+
+
+def fetch(op):
+    for attempt in range(MAX_RETRIES):
+        try:
+            return op()
+        except OSError:
+            continue
+    raise TimeoutError
+"""
+
+
+class TestBoundedRetry:
+    def test_while_true_retry_fires(self):
+        report = lint_source(UNBOUNDED_RETRY, DET_PATH, select=["RPA009"])
+        assert codes_at(report) == [("RPA009", 2)]
+
+    def test_sleep_inside_loop_fires(self):
+        report = lint_source(SLEEPING_RETRY, DET_PATH, select=["RPA009"])
+        assert codes_at(report) == [("RPA009", 9)]
+
+    def test_dynamic_bound_fires(self):
+        report = lint_source(DYNAMIC_BOUND_RETRY, DET_PATH, select=["RPA009"])
+        assert codes_at(report) == [("RPA009", 2)]
+
+    def test_literal_bound_is_clean(self):
+        assert lint_source(LITERAL_BOUND_RETRY, DET_PATH, select=["RPA009"]).clean
+
+    def test_module_constant_bound_is_clean(self):
+        assert lint_source(CONSTANT_BOUND_RETRY, DET_PATH, select=["RPA009"]).clean
+
+    def test_dynamic_exit_condition_is_out_of_scope(self):
+        # `while not done` is the protocol's own progress argument, not a
+        # retry bound — the transport's poll loop must stay clean.
+        snippet = (
+            "def drain(mailbox, node):\n"
+            "    while not node.finished:\n"
+            "        try:\n"
+            "            node.on_message(mailbox.get())\n"
+            "        except KeyError:\n"
+            "            continue\n"
+        )
+        assert lint_source(snippet, DET_PATH, select=["RPA009"]).clean
+
+    def test_handler_that_raises_is_not_a_retry(self):
+        snippet = (
+            "def run_all(cells, op):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return op(cells)\n"
+            "        except OSError as exc:\n"
+            "            raise RuntimeError('fatal') from exc\n"
+        )
+        assert lint_source(snippet, DET_PATH, select=["RPA009"]).clean
+
+    def test_iterating_real_items_is_clean(self):
+        snippet = (
+            "def parse(lines):\n"
+            "    out = []\n"
+            "    for line in lines:\n"
+            "        try:\n"
+            "            out.append(int(line))\n"
+            "        except ValueError:\n"
+            "            continue\n"
+            "    return out\n"
+        )
+        assert lint_source(snippet, DET_PATH, select=["RPA009"]).clean
+
+    def test_nested_bounded_loop_does_not_taint_outer(self):
+        # the try lives in the (bounded) inner loop; the outer `while True`
+        # has no retry handler of its own.
+        snippet = (
+            "def pump(queue, op):\n"
+            "    while True:\n"
+            "        item = queue.pop()\n"
+            "        if item is None:\n"
+            "            break\n"
+            "        for attempt in range(2):\n"
+            "            try:\n"
+            "                op(item)\n"
+            "                break\n"
+            "            except OSError:\n"
+            "                continue\n"
+        )
+        assert lint_source(snippet, DET_PATH, select=["RPA009"]).clean
+
+    def test_sleep_outside_loops_is_out_of_scope(self):
+        snippet = "import time\n\n\ndef nap():\n    time.sleep(1.0)\n"
+        assert lint_source(snippet, DET_PATH, select=["RPA009"]).clean
+
+    def test_outside_deterministic_paths_not_flagged(self):
+        assert lint_source(UNBOUNDED_RETRY, CORE_PATH, select=["RPA009"]).clean
+        assert lint_source(SLEEPING_RETRY, BENCH_PATH, select=["RPA009"]).clean
+
+
 # ---------------------------------------------------------------- suppression --
 class TestNoqaSuppression:
     def test_line_scoped_code_scoped_suppression(self):

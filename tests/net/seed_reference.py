@@ -218,6 +218,7 @@ class SeedSimNetwork:
             msg_id=self._next_msg_id,
         )
         self._next_msg_id += 1
+        self.stats.messages_sent += 1
         self._channel(sender, recipient).push(message)
         self._in_flight.append(message)
 
@@ -234,6 +235,7 @@ class SeedSimNetwork:
             msg_id=self._next_msg_id,
         )
         self._next_msg_id += 1
+        self.stats.messages_sent += 1
         self._channel(node_id, node_id).push(message)
         self._in_flight.append(message)
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.net.message import Message
+from repro.net.network import QuiescenceError
 from repro.net.node import Node, NodeContext
 from repro.net.transport import ThreadedNetwork
 
@@ -29,6 +30,26 @@ class Collector(Node):
 class Failing(Node):
     def on_start(self, ctx: NodeContext) -> None:
         raise RuntimeError("boom")
+
+    def on_message(self, ctx, message):  # pragma: no cover
+        pass
+
+
+class Stuck(Node):
+    """Never finishes — waits for a message nobody sends."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        pass
+
+    def on_message(self, ctx, message):  # pragma: no cover
+        pass
+
+
+class Finisher(Node):
+    """Finishes immediately on start."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self.finish("done")
 
     def on_message(self, ctx, message):  # pragma: no cover
         pass
@@ -70,6 +91,22 @@ class TestThreadedNetwork:
         net.add_node(TimerWaiter("t"))
         outputs = net.run(timeout=5.0)
         assert outputs.get("t") == "ticked"
+
+    def test_timeout_raises_quiescence_error_naming_stuck_nodes(self):
+        net = ThreadedNetwork()
+        net.add_node(Finisher("done"))
+        net.add_node(Stuck("wedged-1"))
+        net.add_node(Stuck("wedged-2"))
+        with pytest.raises(QuiescenceError, match=r"2 nodes.*wedged-1, wedged-2"):
+            net.run(timeout=0.2)
+
+    def test_timeout_error_counts_undelivered_backlog(self):
+        net = ThreadedNetwork()
+        net.add_node(Stuck("wedged"))
+        with pytest.raises(QuiescenceError) as excinfo:
+            net.run(timeout=0.2)
+        assert "wedged" in str(excinfo.value)
+        assert "undelivered" in str(excinfo.value)
 
     def test_traffic_counters_increase(self):
         net = ThreadedNetwork()

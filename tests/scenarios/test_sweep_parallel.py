@@ -29,6 +29,7 @@ from repro.scenarios import (
     run_sweep,
     spec_from_dict,
 )
+from repro.scenarios.dispatch import ChunkExecutionError
 from repro.scenarios.parallel import amortisation_key, chunk_tasks, execute_chunk
 from repro.scenarios.spec import ComponentSpec, spec_to_dict
 from repro.scenarios.sweep import _component_key
@@ -350,8 +351,13 @@ class TestResourceLifecycle:
         bad = spec_to_dict(
             _spec({"users": 4, "providers": 3, "runner": "auction_run", "executors": 2})
         )
-        with pytest.raises(SpecError, match=r"executors"):
+        with pytest.raises(ChunkExecutionError) as excinfo:
             execute_chunk([(0, good, [0]), (1, bad, [0])])
+        # The failure wrapper preserves the original diagnostics and the
+        # rounds completed before the failure (the parent journals those).
+        assert "executors" in excinfo.value.traceback
+        assert [(i, inst) for i, inst, _ in excinfo.value.partial_results] == [(0, 0)]
+        assert [(i, inst) for i, _p, inst in excinfo.value.remaining_items] == [(1, [0])]
         # The worker body's finally closed its cache despite the mid-chunk error.
         assert len(closed) == 1
 
