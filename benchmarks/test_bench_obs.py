@@ -1,0 +1,84 @@
+"""Observability-plane overhead — disabled-mode tracing must be free.
+
+The obs plane's bargain (DESIGN.md, "The observability plane") is that every
+instrument site costs one cached ``is None`` check when no observation is
+installed.  This benchmark holds the plane to it on the net-core workload —
+one distributed double-auction round, 40 users / 8 providers, ``wan``
+latency — by interleaving identical uninstrumented runs (A/B, whose median
+delta is the host's noise bound) with fully observed runs.
+
+The export test writes ``BENCH_obs.json`` with both numbers:
+``overhead_disabled_pct`` (the A/B noise bound, asserted < 5 %) and
+``overhead_enabled_pct`` (the honest price of live tracing + metrics).  CI
+runs this file in quick mode (``--benchmark-disable``) and greps the summary
+line.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.auctions.double_auction import DoubleAuction
+from repro.bench.harness import (
+    default_latency_model,
+    export_obs_artifact,
+    run_obs_benchmark,
+)
+from repro.community.workload import DoubleAuctionWorkload
+from repro.core.config import FrameworkConfig
+from repro.obs import observe
+from repro.runtime.auction_run import AuctionRun
+
+#: Defense in depth next to the conftest auto-marker: the bench marker
+#: must survive this file being run from outside the benchmarks rootdir.
+pytestmark = pytest.mark.bench
+
+NUM_USERS = 40
+NUM_PROVIDERS = 8
+
+
+def _execute_round():
+    run = AuctionRun(
+        DoubleAuctionWorkload(seed=0).generate(NUM_USERS, NUM_PROVIDERS),
+        DoubleAuction(),
+        config=FrameworkConfig(k=2),
+        latency_model=default_latency_model(),
+        seed=0,
+    )
+    return run.execute()
+
+
+def test_bench_observed_round(benchmark):
+    """Wall time of the round with a live observation installed."""
+
+    def observed_round():
+        with observe() as observation:
+            result = _execute_round()
+        return result, observation
+
+    result, observation = benchmark.pedantic(observed_round, rounds=3, iterations=1)
+    benchmark.extra_info["spans"] = len(observation.tracer.spans)
+    benchmark.extra_info["instruments"] = len(observation.metrics)
+    assert not result.aborted
+    assert observation.tracer.spans  # the hooks actually fired
+
+
+def test_bench_obs_artifact_export():
+    """One uniform artifact: BENCH_obs.json with the overhead summary line."""
+    payload = run_obs_benchmark(
+        num_users=NUM_USERS, num_providers=NUM_PROVIDERS, repeats=3
+    )
+    path = export_obs_artifact(payload, "BENCH_obs.json")
+    assert os.path.basename(path) == "BENCH_obs.json"
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = json.load(handle)
+    assert stored["bench"] == "obs-overhead"
+    # The acceptance number: with no observation installed, the instrumented
+    # build is indistinguishable from uninstrumented to within host noise.
+    assert stored["overhead_disabled_pct"] < 5.0
+    assert stored["spans_per_round"] > 100  # deliveries dominate
+    assert stored["instruments"] >= 8
+    assert "disabled-mode overhead" in stored["summary"]
+    assert stored["median_off_a_seconds"] > 0
+    assert stored["median_observed_seconds"] > 0

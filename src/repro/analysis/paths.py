@@ -16,6 +16,7 @@ path                      classification
 ``repro/net/``            deterministic
 ``repro/consensus/``      deterministic
 ``repro/gametheory/``     deterministic
+``repro/obs/``            deterministic (sim-time-only tracing/metrics)
 ``repro/scenarios/``      deterministic, except ``dispatch.py``
 ``repro/bench/``          allowlisted (wall-clock measurement is its job)
 ``benchmarks/``           bench-suite (RPA007 pytestmark contract)
@@ -43,7 +44,7 @@ __all__ = [
 
 #: Sub-packages of ``repro`` whose behaviour is pinned bit-identical.
 DETERMINISTIC_PACKAGES = frozenset(
-    {"auctions", "net", "consensus", "gametheory", "scenarios"}
+    {"auctions", "net", "consensus", "gametheory", "obs", "scenarios"}
 )
 
 #: Files inside deterministic packages that are exempt by design.

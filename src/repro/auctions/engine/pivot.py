@@ -27,6 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.auctions.base import Allocation, BidVector
 from repro.common import available_cpus, stable_hash
+from repro.obs.context import current_observation
 
 __all__ = ["PivotExecutor", "SolveCache", "clear_solve_cache", "shared_solve_cache"]
 
@@ -201,6 +202,22 @@ class PivotExecutor:
                 welfares[user_id] = hit[1]
             else:
                 jobs.append((user_id, key, pivot_seed))
+
+        # Observability hook: one "pivot_resolve" span per batch, emitted on
+        # the calling thread before any pool fan-out so the span order is the
+        # same under serial, thread and process executors.  Engine work has no
+        # sim clock, so the timestamp is the tracer's logical sequence.
+        obs = current_observation()
+        if obs is not None and obs.tracer is not None and obs.tracer.active:
+            obs.tracer.emit(
+                "pivot_resolve",
+                "engine",
+                ts=obs.tracer.seq(),
+                dur=float(max(len(jobs), 1)),
+                users=len(user_ids),
+                resolves=len(jobs),
+                memo_hits=len(user_ids) - len(jobs),
+            )
 
         if not jobs:
             return welfares

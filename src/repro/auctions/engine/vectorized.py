@@ -35,6 +35,7 @@ from repro.auctions.engine.pivot import (
     shared_solve_cache,
 )
 from repro.auctions.standard_auction import _EPS, StandardAuction
+from repro.obs.context import current_observation
 
 __all__ = ["VectorizedStandardAuction"]
 
@@ -94,7 +95,25 @@ class VectorizedStandardAuction(StandardAuction):
     def solve_allocation(self, bids: BidVector, seed: int) -> Tuple[Allocation, float]:
         """Batch-kernel version of the reference Step 1, memoised process-wide."""
         key = (self.engine_params(), bid_vector_fingerprint(bids), seed)
-        return self._solve_cached(bids, seed, key)
+        cache = shared_solve_cache()
+        hits_before = cache.hits
+        result = self._solve_cached(bids, seed, key)
+        # Observability hook: one "solve" span per top-level allocation solve,
+        # emitted here (the main-thread entry) rather than inside the cached
+        # solver, which pivot executors may call from worker threads.  The
+        # timestamp is the tracer's logical sequence — engine work has no sim
+        # clock (see repro.obs).
+        obs = current_observation()
+        if obs is not None and obs.tracer is not None and obs.tracer.active:
+            obs.tracer.emit(
+                "solve",
+                "engine",
+                ts=obs.tracer.seq(),
+                dur=1.0,
+                users=len(bids.users),
+                memo_hit=cache.hits > hits_before,
+            )
+        return result
 
     def _solve_cached(self, bids: BidVector, seed: int, key) -> Tuple[Allocation, float]:
         """Solve under an externally derived cache key (the pivot executor's path)."""

@@ -1,6 +1,6 @@
 """Command-line interface, built on the declarative scenario API.
 
-Nine sub-commands cover the common workflows::
+Eleven sub-commands cover the common workflows::
 
     repro-auction run   --mechanism double --users 100 --providers 8 --k 1
     repro-auction run   --spec scenario.toml --set users=200 --set config.k=2 --json
@@ -16,8 +16,21 @@ Nine sub-commands cover the common workflows::
     repro-auction chaos --spec chaos.json --set recovery.max_retries=5 --json
     repro-auction results summarize results.rcol
     repro-auction results convert results.jsonl results.rcol
+    repro-auction sweep --spec sweep.json --trace trace.jsonl --metrics metrics.json
+    repro-auction trace trace.jsonl --format chrome > trace_chrome.json
+    repro-auction metrics metrics.json
     repro-auction lint
     repro-auction lint src benchmarks --format json --select RPA001,RPA004
+
+``run``, ``sweep``, ``resilience`` and ``chaos`` accept ``--trace FILE``
+(journal sim-time spans to FILE as the run executes; ``.rcol`` picks the
+columnar store format) and ``--metrics FILE`` (write the metrics-hub
+snapshot as canonical JSON, with a one-line stderr summary) — the
+observability plane of :mod:`repro.obs`.  ``trace`` exports a recorded
+journal as Chrome-trace JSON (load it at https://ui.perfetto.dev) or an
+indented text listing; ``metrics`` renders a snapshot back as a table.
+Traces and metrics contain modelled time only, so they are byte-identical
+across reruns and ``PYTHONHASHSEED`` values.
 
 ``results`` works on existing journals, whatever their format (the file is
 sniffed, never declared): ``summarize`` streams a journal through the
@@ -176,6 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
             "only the missing ones (the journal must belong to this sweep)",
         )
 
+    def add_obs_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="journal sim-time spans (rounds, deliveries, solves, faults) "
+            "to this results-store file as the command runs; a .rcol path "
+            "picks the columnar format, anything else jsonl — export with "
+            "'repro-auction trace FILE'",
+        )
+        command.add_argument(
+            "--metrics",
+            dest="metrics_out",
+            metavar="FILE",
+            help="write the run's metrics snapshot (counters/gauges/"
+            "histograms, canonical JSON) to this file and print a one-line "
+            "summary on stderr — render with 'repro-auction metrics FILE'",
+        )
+
     def add_scenario_flags(command: argparse.ArgumentParser, name: str) -> None:
         defaults = _FLAG_DEFAULTS[name]
         command.add_argument(
@@ -209,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one distributed auction round")
     add_scenario_flags(run, "run")
     add_spec_options(run)
+    add_obs_options(run)
 
     fig4 = sub.add_parser("fig4", help="regenerate Figure 4 (double auction running time)")
     fig4.add_argument("--users", type=int, nargs="+", default=[100, 200, 400, 600, 800, 1000])
@@ -258,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--series", action="store_true", help="print per-series summary")
     sweep.add_argument("--json", action="store_true", help="print machine-readable JSON records")
     add_grid_options(sweep)
+    add_obs_options(sweep)
 
     resilience = sub.add_parser(
         "resilience",
@@ -283,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print machine-readable JSON records"
     )
     add_grid_options(resilience)
+    add_obs_options(resilience)
 
     chaos = sub.add_parser(
         "chaos",
@@ -317,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
         "those) and keep executing the rest of the grid",
     )
     add_grid_options(chaos)
+    add_obs_options(chaos)
 
     results = sub.add_parser(
         "results",
@@ -352,6 +387,34 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_store_format_choices(),
         default=None,
         help="target format (default: the other one of jsonl/columnar)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a recorded trace journal (jsonl or columnar, sniffed) "
+        "as Chrome-trace JSON or a text listing",
+    )
+    trace.add_argument(
+        "journal", metavar="FILE", help="the trace journal written by --trace"
+    )
+    trace.add_argument(
+        "--format",
+        choices=["chrome", "text"],
+        default="chrome",
+        help="'chrome' (default): Trace Event JSON loadable at "
+        "https://ui.perfetto.dev or chrome://tracing; 'text': an indented "
+        "one-line-per-span listing",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot written by --metrics FILE",
+    )
+    metrics.add_argument(
+        "snapshot", metavar="FILE", help="the snapshot JSON written by --metrics"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="re-print the snapshot as indented JSON"
     )
 
     lint = sub.add_parser(
@@ -472,10 +535,45 @@ def _build_scenario(args: argparse.Namespace, command: str) -> ScenarioSpec:
 
 
 # ------------------------------------------------------------------- sub-commands --
+def _observed(args: argparse.Namespace, name: str, body):
+    """Run ``body()`` under an installed observation when --trace/--metrics ask.
+
+    Without either flag this is a plain call — the observability plane stays
+    completely uninstalled (the hooks' disabled mode).  With them, the
+    observation wraps exactly the simulation work: the trace journal is
+    closed and the metrics snapshot written even if ``body`` raises, so an
+    aborted run still leaves inspectable artifacts.
+    """
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and not metrics_out:
+        return body()
+    from repro.obs import observe
+
+    with observe(trace=trace, name=name) as observation:
+        try:
+            return body()
+        finally:
+            if trace:
+                print(
+                    f"trace {trace}: {len(observation.tracer.spans)} spans",
+                    file=sys.stderr,
+                )
+            if metrics_out:
+                hub = observation.metrics
+                with open(metrics_out, "w", encoding="utf-8") as handle:
+                    handle.write(hub.snapshot_json() + "\n")
+                print(f"{hub.summary_line()} -> {metrics_out}", file=sys.stderr)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     spec = _build_scenario(args, "run")
-    with Simulation(spec) as simulation:
-        record = simulation.run()
+
+    def body():
+        with Simulation(spec) as simulation:
+            return simulation.run()
+
+    record = _observed(args, spec.name, body)
     if args.json:
         import json
 
@@ -602,7 +700,9 @@ def _command_fig5(args: argparse.Namespace) -> int:
 def _command_resilience(args: argparse.Namespace) -> int:
     spec = load_resilience(args.spec)
     spec = resilience_with_overrides(spec, parse_assignments(args.overrides))
-    result = run_resilience(spec, **_grid_kwargs(args))
+    result = _observed(
+        args, spec.name, lambda: run_resilience(spec, **_grid_kwargs(args))
+    )
     if args.output:
         print(
             f"store {args.output}: reused {result.resumed_cells} journaled cells, "
@@ -620,7 +720,11 @@ def _command_chaos(args: argparse.Namespace) -> int:
     spec = load_chaos(args.spec)
     spec = chaos_with_overrides(spec, parse_assignments(args.overrides))
     failure_mode = "quarantine" if args.quarantine else "raise"
-    result = run_chaos(spec, failure_mode=failure_mode, **_grid_kwargs(args))
+    result = _observed(
+        args,
+        spec.name,
+        lambda: run_chaos(spec, failure_mode=failure_mode, **_grid_kwargs(args)),
+    )
     if args.output:
         print(
             f"store {args.output}: reused {result.resumed_cells} journaled cells, "
@@ -746,44 +850,96 @@ def _command_sweep(args: argparse.Namespace) -> int:
     loaded = load_any(args.spec)
     if isinstance(loaded, ScenarioSpec):
         loaded = SweepSpec(base=loaded, name=loaded.name)
-    loaded = loaded.with_base_overrides(parse_assignments(args.overrides))
-    result = run_sweep(loaded, **_grid_kwargs(args))
+    sweep = loaded.with_base_overrides(parse_assignments(args.overrides))
+    result = _observed(args, sweep.name, lambda: run_sweep(sweep, **_grid_kwargs(args)))
     _print_sweep(result, args)
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: export is an offline tool and the
+    # simulation subcommands should not pay for it.
+    from repro.obs.export import render_chrome, render_text
+    from repro.obs.trace import load_trace
+
+    if not os.path.exists(args.journal):
+        raise SpecError(args.journal, "trace journal not found")
+    _manifest, spans = load_trace(args.journal)
+    print(render_chrome(spans) if args.format == "chrome" else render_text(spans))
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.metrics import render_metrics
+
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except OSError as exc:
+        raise SpecError(args.snapshot, f"cannot read metrics snapshot: {exc}")
+    except ValueError as exc:
+        raise SpecError(args.snapshot, f"not a metrics snapshot JSON document: {exc}")
+    print(json.dumps(snapshot, indent=2) if args.json else render_metrics(snapshot))
+    return 0
+
+
+#: The sub-command dispatch table (argparse enforces membership).
+_COMMANDS = {
+    "run": _command_run,
+    "fig4": _command_fig4,
+    "fig5": _command_fig5,
+    "batch": _command_batch,
+    "sweep": _command_sweep,
+    "resilience": _command_resilience,
+    "chaos": _command_chaos,
+    "results": _command_results,
+    "trace": _command_trace,
+    "metrics": _command_metrics,
+    "lint": _command_lint,
+}
+
+
+def _quiet_broken_pipe() -> int:
+    """Exit 0 the way standard Unix filters do when the reader hangs up.
+
+    The guard lives at the entrypoint so *every* sub-command survives
+    ``| head``, not just the ones somebody remembered to wrap.  Both streams
+    are flushed (tolerating the pipe raising again) and detached onto
+    ``/dev/null``, so the interpreter's shutdown flush cannot raise a second
+    time; streams without a real file descriptor (pytest capture, StringIO)
+    have nothing buffered at the OS level and are skipped.
+    """
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    for stream in (sys.stdout, sys.stderr):
+        try:
+            stream.flush()
+        except (OSError, ValueError):
+            pass
+        try:
+            os.dup2(devnull, stream.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass
+    os.close(devnull)
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        if args.command == "run":
-            return _command_run(args)
-        if args.command == "fig4":
-            return _command_fig4(args)
-        if args.command == "fig5":
-            return _command_fig5(args)
-        if args.command == "batch":
-            return _command_batch(args)
-        if args.command == "sweep":
-            return _command_sweep(args)
-        if args.command == "resilience":
-            return _command_resilience(args)
-        if args.command == "chaos":
-            return _command_chaos(args)
-        if args.command == "results":
-            return _command_results(args)
-        if args.command == "lint":
-            return _command_lint(args)
+        status = _COMMANDS[args.command](args)
+        # Flush inside the guard: a sub-command's output may still be sitting
+        # in the stdout buffer, and a closed pipe would otherwise surface as
+        # an unhandled BrokenPipeError in the interpreter's shutdown flush —
+        # after main() already returned success.
+        sys.stdout.flush()
+        return status
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except BrokenPipeError:  # pragma: no cover - e.g. `results summarize | head`
-        # The reader closed the pipe early; exit quietly like standard
-        # Unix tools.  Detach stdout so the interpreter's shutdown flush
-        # does not raise a second time.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
-        return 0
-    return 1  # pragma: no cover - argparse enforces the choices
+    except BrokenPipeError:
+        return _quiet_broken_pipe()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -55,6 +55,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common import stable_hash
 from repro.net.message import Message
+from repro.obs.context import current_observation
 
 __all__ = [
     "FAULTS",
@@ -423,6 +424,23 @@ class FaultPlan:
         entry: Dict[str, Any] = {"event": event}
         entry.update(details)
         self.events.append(entry)
+        # Observability hook: record() only runs on actual injections, so the
+        # ambient lookup costs nothing on the fault-free path.  The instant's
+        # timestamp is the injection's modelled time when the detail carries
+        # one, else 0 — never the wall clock.
+        obs = current_observation()
+        if obs is not None:
+            if obs.metrics is not None:
+                obs.metrics.counter(f"faults.{event}").inc()
+            tracer = obs.tracer
+            if tracer is not None and tracer.active:
+                at = details.get("at")
+                tracer.instant(
+                    f"fault.{event}",
+                    "fault",
+                    ts=float(at) if at is not None else 0.0,
+                    **details,
+                )
 
     def digest(self) -> str:
         """SHA-256 over the canonical (sorted-key) JSON of the event journal.

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set
 
 from repro.common import stable_hash
 from repro.net.channel import ReliableChannel
+from repro.obs.context import current_observation
 from repro.net.clock import VirtualClock
 from repro.net.latency import LatencyModel, ZeroLatencyModel
 from repro.net.message import Message
@@ -209,6 +210,18 @@ class SimNetwork:
         self.fault_plan = fault_plan
         self._fault_plan = (
             fault_plan if fault_plan is not None and fault_plan.armed else None
+        )
+        # Same armed-plan idiom for the observability plane: captured once at
+        # construction, None when disabled, so the per-delivery hook is a
+        # single is-None check on the hot path.  Delivery timestamps are the
+        # message's modelled send/arrival times — never the wall clock — so
+        # observed runs stay bit-identical (see repro.obs).
+        self._obs = current_observation()
+        obs = self._obs
+        self._obs_latency = (
+            obs.metrics.histogram("net.delivery_latency")
+            if obs is not None and obs.metrics is not None
+            else None
         )
 
     # -- topology ------------------------------------------------------------
@@ -438,11 +451,52 @@ class SimNetwork:
                 # skip the handler — exactly-once processing.
                 self.stats.duplicates_suppressed += 1
                 self.stats.record_delivery(message)
+                if self._obs is not None:
+                    self._observe_delivery(message, suppressed=True)
                 return
         self._dispatch(node, node.on_message, self._contexts[message.recipient], message)
         self.stats.record_delivery(message)
+        if self._obs is not None:
+            self._observe_delivery(message, suppressed=False)
         if node.finished:
             self._note_finished(node.node_id)
+
+    # -- observability hooks ---------------------------------------------------------
+    def _observe_delivery(self, message: Message, suppressed: bool) -> None:
+        """Emit the per-delivery span + latency observation (observed runs only)."""
+        obs = self._obs
+        latency = message.arrival_time - message.send_time
+        if self._obs_latency is not None:
+            self._obs_latency.observe(latency)
+        tracer = obs.tracer
+        if tracer is not None and tracer.active:
+            tracer.emit(
+                "deliver",
+                "net",
+                ts=message.send_time,
+                dur=latency,
+                tag=message.tag,
+                sender=message.sender,
+                recipient=message.recipient,
+                msg_id=message.msg_id,
+                suppressed=suppressed,
+            )
+
+    def _observe_run_end(self) -> None:
+        """Fold the run's NetworkStats into the metrics hub (one call per run)."""
+        metrics = self._obs.metrics
+        if metrics is None:
+            return
+        stats = self.stats
+        metrics.counter("net.runs").inc()
+        metrics.counter("net.messages_sent").inc(stats.messages_sent)
+        metrics.counter("net.messages_delivered").inc(stats.messages_delivered)
+        metrics.counter("net.messages_dropped").inc(stats.messages_dropped)
+        metrics.counter("net.messages_lost").inc(stats.messages_lost)
+        metrics.counter("net.retransmissions").inc(stats.retransmissions)
+        metrics.counter("net.duplicates_suppressed").inc(stats.duplicates_suppressed)
+        metrics.counter("net.faults_injected").inc(stats.faults_injected)
+        metrics.histogram("net.run_elapsed").observe(stats.elapsed_time)
 
     def start(self) -> None:
         """Invoke ``on_start`` on every node (in registration order)."""
@@ -542,6 +596,8 @@ class SimNetwork:
             (clock.now for clock in self._clocks.values()), default=0.0
         )
         self.stats.node_busy = {nid: clock.busy for nid, clock in self._clocks.items()}
+        if self._obs is not None:
+            self._observe_run_end()
         return self.stats
 
     # -- introspection -----------------------------------------------------------

@@ -1,0 +1,91 @@
+"""Chrome-trace-format export: spans -> a Perfetto/``chrome://tracing`` JSON.
+
+The target is the JSON Array Format of the Trace Event spec: a
+``traceEvents`` list of complete events (``ph: "X"``) and instants
+(``ph: "i"``), timestamps in *microseconds*.  Sim time is seconds, so
+export scales by 1e6 — a 0.0125 s modelled delivery renders as a 12.5 µs
+span, preserving relative proportions, which is all a timeline viewer
+needs.
+
+The mapping of the tracer's structure onto the viewer's process/thread
+grid: a span's ``track`` (one lane per scenario round) becomes the
+``pid``, and its category becomes the ``tid`` (one named row per
+category, via ``thread_name`` metadata events).  Events are sorted by
+``(ts, span_id)`` and serialised with sorted keys and compact
+separators, so the export — like the journal it came from — is
+byte-identical across reruns and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.trace import SpanRecord
+
+__all__ = ["chrome_trace", "render_chrome", "render_text"]
+
+#: Sim seconds -> trace microseconds.
+_SCALE = 1e6
+
+
+def chrome_trace(spans: Iterable[SpanRecord]) -> Dict[str, Any]:
+    """Build the Chrome-trace document (a JSON-ready dict) from ``spans``."""
+    ordered = sorted(spans, key=lambda span: (span.ts, span.span_id))
+    categories = sorted({span.cat for span in ordered})
+    tids = {cat: index for index, cat in enumerate(categories)}
+    tracks = sorted({span.track for span in ordered})
+
+    events: List[Dict[str, Any]] = []
+    for track in tracks:
+        for cat in categories:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": track,
+                    "tid": tids[cat],
+                    "args": {"name": cat},
+                }
+            )
+    for span in ordered:
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "pid": span.track,
+            "tid": tids[span.cat],
+            "ts": span.ts * _SCALE,
+            "args": {"span_id": span.span_id, "parent": span.parent, **span.detail},
+        }
+        if span.dur > 0.0:
+            event["ph"] = "X"
+            event["dur"] = span.dur * _SCALE
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def render_chrome(spans: Iterable[SpanRecord]) -> str:
+    """Canonical JSON of :func:`chrome_trace` (the byte-identity surface)."""
+    return json.dumps(chrome_trace(spans), sort_keys=True, separators=(",", ":"))
+
+
+def render_text(spans: Iterable[SpanRecord]) -> str:
+    """A human-readable span listing (indented by nesting, one line per span)."""
+    ordered = sorted(spans, key=lambda span: span.span_id)
+    depths: Dict[int, int] = {}
+    lines = [f"trace: {len(ordered)} spans"]
+    for span in ordered:
+        depth = depths.get(span.parent, -1) + 1
+        depths[span.span_id] = depth
+        indent = "  " * depth
+        detail = " ".join(f"{key}={span.detail[key]}" for key in sorted(span.detail))
+        lines.append(
+            f"[track {span.track}] {indent}{span.name} ({span.cat}) "
+            f"ts={span.ts:.6f} dur={span.dur:.6f}"
+            + (f" {detail}" if detail else "")
+        )
+    return "\n".join(lines)

@@ -55,6 +55,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.community.workload import default_provider_ids
 from repro.core.framework import DistributedAuctioneer
+from repro.obs.context import current_observation
 from repro.net.faults import FAULTS, FaultPlan, RecoveryPolicy, make_fault
 from repro.net.network import QuiescenceError
 from repro.scenarios.runner import (
@@ -887,6 +888,17 @@ def run_chaos(
             if record is None:
                 record = completed[(point, instance)]
             result.records.append(record)
+    # Observability hook (see repro.obs): audit-level counters only — the
+    # per-injection instants and network counters are emitted by the fault
+    # plane and SimNetwork themselves when cells run in this process.
+    obs = current_observation()
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.counter("chaos.cells_executed").inc(len(fresh))
+        obs.metrics.counter("chaos.cells_reused").inc(len(completed))
+        obs.metrics.counter("chaos.cells_quarantined").inc(len(quarantined))
+        obs.metrics.counter("chaos.cells_failed").inc(
+            sum(1 for record in result.records if not record.ok)
+        )
     return result
 
 

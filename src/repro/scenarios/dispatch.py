@@ -57,6 +57,7 @@ __all__ = [
     "SerialExecutorBackend",
     "WorkerPlan",
     "create_backend",
+    "reset_oversubscription_warnings",
     "resolve_workers",
     "split_chunks",
 ]
@@ -143,6 +144,20 @@ class ChunkQuarantine:
 
 
 # ------------------------------------------------------------- worker policy --
+#: Oversubscription warnings already printed this process, keyed by
+#: ``(requested, cpus)``.  One CLI invocation resolves the same request more
+#: than once (the audit harnesses plan up front, then the executor they call
+#: re-resolves), and re-printing an identical warning per resolution reads as
+#: N distinct problems.  Warn once per distinct resolution instead; tests
+#: reset via :func:`reset_oversubscription_warnings`.
+_WARNED_OVERSUBSCRIPTIONS: set = set()
+
+
+def reset_oversubscription_warnings() -> None:
+    """Forget which oversubscription warnings were printed (test isolation)."""
+    _WARNED_OVERSUBSCRIPTIONS.clear()
+
+
 @dataclass(frozen=True)
 class WorkerPlan:
     """The resolved execution plan for one sweep/audit invocation.
@@ -179,6 +194,9 @@ def resolve_workers(
       *is* the sequential path, so pool overhead can never be the default.
     * an explicit ``N > available CPUs`` — degrades to the available count
       with a stderr warning instead of oversubscribing (``capped=True``).
+      The warning prints once per distinct ``(requested, cpus)`` resolution
+      per process, not once per call — one invocation resolves the same
+      request repeatedly (harness plan + executor re-resolution).
     * anything else (0, negatives, other strings) — :class:`SpecError`.
 
     ``backend`` overrides the dispatch target for parallel plans (default
@@ -205,12 +223,14 @@ def resolve_workers(
         if count > cpus:
             capped = True
             count = cpus
-            print(
-                f"workers: requested {workers} workers but only {cpus} "
-                f"CPU{'s are' if cpus != 1 else ' is'} available; running "
-                f"{count} to avoid oversubscription",
-                file=sys.stderr,
-            )
+            if (workers, cpus) not in _WARNED_OVERSUBSCRIPTIONS:
+                _WARNED_OVERSUBSCRIPTIONS.add((workers, cpus))
+                print(
+                    f"workers: requested {workers} workers but only {cpus} "
+                    f"CPU{'s are' if cpus != 1 else ' is'} available; running "
+                    f"{count} to avoid oversubscription",
+                    file=sys.stderr,
+                )
     if count <= 1:
         return WorkerPlan(requested=workers, workers=1, backend="serial", capped=capped)
     return WorkerPlan(

@@ -42,6 +42,7 @@ from repro.adversary.coalition import Coalition
 from repro.community.workload import default_provider_ids
 from repro.core.framework import DistributedAuctioneer, SimulationReport
 from repro.gametheory.utility import outcome_provider_utility
+from repro.obs.context import current_observation
 from repro.scenarios.registry import ADVERSARIES, SCHEDULERS
 from repro.scenarios.runner import (
     build_latency_model,
@@ -912,6 +913,16 @@ def run_resilience(
             if record is None:
                 record = completed[(point, instance)]
             result.records.append(record)
+    # Observability hook (see repro.obs): audit-level counters; the per-round
+    # spans and network counters come from the layers below when cells run
+    # in this process.
+    obs = current_observation()
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.counter("resilience.cells_executed").inc(len(fresh))
+        obs.metrics.counter("resilience.cells_reused").inc(len(completed))
+        obs.metrics.counter("resilience.profitable_deviations").inc(
+            len(result.profitable_deviations)
+        )
     return result
 
 

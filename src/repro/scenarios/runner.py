@@ -18,10 +18,12 @@ from typing import Any, Dict, List, Optional
 
 from repro.auctions.base import AllocationAlgorithm, BidVector
 from repro.auctions.engine import DEFAULT_ENGINE, engine_name, resolve_engine
+from repro.auctions.engine.pivot import shared_solve_cache
 from repro.community.workload import default_provider_ids
 from repro.core.framework import CentralizedAuctioneer, DistributedAuctioneer
 from repro.core.outcome import Outcome
 from repro.net.latency import LatencyModel
+from repro.obs.context import current_observation
 from repro.runtime.auction_run import AuctionRun
 from repro.scenarios.registry import (
     BIDDER_STRATEGIES,
@@ -250,51 +252,110 @@ def run_scenario(
         provider_ids[: spec.executors] if spec.executors is not None else provider_ids
     )
 
-    if spec.runner == "centralized":
-        report = CentralizedAuctioneer(mechanism, seed=spec.seed).run(bids)
-        outcome = report.outcome
-        if not spec.measure_compute:
-            # The centralised baseline always times with a real stopwatch;
-            # honour the spec's determinism contract by dropping the reading.
-            outcome = dataclasses.replace(outcome, elapsed_time=0.0)
-        # The trusted auctioneer sees every provider's ask — executor
-        # subsetting does not apply, so the record must not claim it did.
-        executor_ids = provider_ids
-    elif spec.runner == "distributed":
-        if latency_model is None:
-            latency_model = build_latency_model(spec, topology)
-        auctioneer = DistributedAuctioneer(
-            mechanism,
-            providers=executor_ids,
-            config=spec.config.to_config(),
-            latency_model=latency_model,
-            seed=spec.seed,
-            measure_compute=spec.measure_compute,
-        )
-        report = auctioneer.run_from_bids(bids)
-        outcome = report.outcome
-    else:  # auction_run
-        if spec.executors is not None:
-            raise SpecError(
-                "executors",
-                "executor subsetting is not supported by the 'auction_run' runner "
-                "(every provider in the workload hosts a node)",
-            )
-        if latency_model is None:
-            latency_model = build_latency_model(spec, topology)
-        run = AuctionRun(
-            bids,
-            mechanism,
-            config=spec.config.to_config(),
-            bidder_strategies=_bidder_strategies(spec, list(bids.user_ids)),
-            deadline=spec.deadline,
-            latency_model=latency_model,
-            seed=spec.seed,
-            measure_compute=spec.measure_compute,
-        )
-        outcome = run.execute().outcome
+    # Observability hooks (see repro.obs): each round opens its own span on a
+    # fresh track — sim clocks restart at 0 every round, so two rounds must
+    # not share a timeline lane — and the engine's memo counters are read
+    # before/after so the hub records per-round *deltas* (the process-wide
+    # cache survives across rounds; absolute totals would conflate runs).
+    obs = current_observation()
+    span_open = False
+    memo_base = None
+    if obs is not None:
+        if obs.tracer is not None and obs.tracer.active:
+            obs.tracer.open("round", "scenario", ts=0.0, new_track=True)
+            span_open = True
+        if obs.metrics is not None:
+            cache = shared_solve_cache()
+            memo_base = (cache.hits, cache.misses)
 
-    return record_from_outcome(spec, instance, outcome, mechanism, len(executor_ids))
+    record = None
+    try:
+        if spec.runner == "centralized":
+            report = CentralizedAuctioneer(mechanism, seed=spec.seed).run(bids)
+            outcome = report.outcome
+            if not spec.measure_compute:
+                # The centralised baseline always times with a real stopwatch;
+                # honour the spec's determinism contract by dropping the reading.
+                outcome = dataclasses.replace(outcome, elapsed_time=0.0)
+            # The trusted auctioneer sees every provider's ask — executor
+            # subsetting does not apply, so the record must not claim it did.
+            executor_ids = provider_ids
+        elif spec.runner == "distributed":
+            if latency_model is None:
+                latency_model = build_latency_model(spec, topology)
+            auctioneer = DistributedAuctioneer(
+                mechanism,
+                providers=executor_ids,
+                config=spec.config.to_config(),
+                latency_model=latency_model,
+                seed=spec.seed,
+                measure_compute=spec.measure_compute,
+            )
+            report = auctioneer.run_from_bids(bids)
+            outcome = report.outcome
+        else:  # auction_run
+            if spec.executors is not None:
+                raise SpecError(
+                    "executors",
+                    "executor subsetting is not supported by the 'auction_run' runner "
+                    "(every provider in the workload hosts a node)",
+                )
+            if latency_model is None:
+                latency_model = build_latency_model(spec, topology)
+            run = AuctionRun(
+                bids,
+                mechanism,
+                config=spec.config.to_config(),
+                bidder_strategies=_bidder_strategies(spec, list(bids.user_ids)),
+                deadline=spec.deadline,
+                latency_model=latency_model,
+                seed=spec.seed,
+                measure_compute=spec.measure_compute,
+            )
+            outcome = run.execute().outcome
+        record = record_from_outcome(spec, instance, outcome, mechanism, len(executor_ids))
+    finally:
+        # The span is closed even when a cell raises (chaos audits catch and
+        # continue), so one failed round can never corrupt the nesting of
+        # every round after it.
+        if obs is not None:
+            _observe_round(obs, spec, instance, record, memo_base, span_open)
+    return record
+
+
+def _observe_round(
+    obs,
+    spec: ScenarioSpec,
+    instance: int,
+    record: Optional["RunRecord"],
+    memo_base,
+    span_open: bool,
+) -> None:
+    """Close the round span and fold the round's deltas into the metrics hub."""
+    if span_open:
+        obs.tracer.close(
+            dur=float(record.elapsed_seconds) if record is not None else 0.0,
+            name=spec.name,
+            instance=instance,
+            ok=record is not None,
+        )
+    metrics = obs.metrics
+    if metrics is None:
+        return
+    metrics.counter("rounds").inc()
+    if record is not None:
+        metrics.histogram("round.elapsed").observe(record.elapsed_seconds)
+        metrics.counter("round.messages").inc(record.messages)
+        if record.aborted:
+            metrics.counter("round.aborted").inc()
+    if memo_base is not None:
+        cache = shared_solve_cache()
+        hits = cache.hits - memo_base[0]
+        misses = cache.misses - memo_base[1]
+        metrics.counter("engine.solve_memo_hits").inc(hits)
+        metrics.counter("engine.solve_memo_misses").inc(misses)
+        if hits + misses:
+            metrics.gauge("engine.solve_memo_hit_rate").set(hits / (hits + misses))
 
 
 def record_from_outcome(

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.net.latency import LatencyModel
+from repro.obs.context import current_observation
 from repro.scenarios.runner import (
     RunRecord,
     build_latency_model,
@@ -287,7 +288,51 @@ def run_sweep(
             if record is None:
                 record = completed[(index, instance)]
             result.records.append(record)
+    _observe_sweep(sweep, scenarios, fresh, completed, quarantined)
     return result
+
+
+def _observe_sweep(sweep, scenarios, fresh, completed, quarantined) -> None:
+    """Observability hook: per-grid-point executor spans + sweep counters.
+
+    Emitted here — after the grid-order reassembly, on the parent process —
+    rather than inside the executors, so the trace is identical whether the
+    rounds ran serially, in a worker pool, or came out of a resumed journal.
+    Executor spans have no sim clock; their timeline is the grid itself
+    (``ts`` = grid index, ``dur`` = the point's total modelled elapsed).
+    """
+    obs = current_observation()
+    if obs is None:
+        return
+    tracer = obs.tracer
+    metrics = obs.metrics
+    if tracer is not None and tracer.active:
+        for index, spec in enumerate(scenarios):
+            elapsed = sum(
+                record.elapsed_seconds
+                for (point, _instance), record in sorted(fresh.items())
+                if point == index
+            )
+            executed = sum(1 for point, _ in fresh if point == index)
+            reused = sum(1 for point, _ in completed if point == index)
+            tracer.emit(
+                "grid_point",
+                "executor",
+                ts=float(index),
+                dur=float(max(elapsed, 0.0)),
+                sweep=sweep.name,
+                point=index,
+                scenario=spec.name,
+                executed=executed,
+                reused=reused,
+            )
+    if metrics is not None:
+        metrics.counter("sweep.points").inc(len(scenarios))
+        metrics.counter("sweep.rounds_executed").inc(len(fresh))
+        metrics.counter("sweep.rounds_reused").inc(len(completed))
+        metrics.counter("executor.quarantined").inc(len(quarantined))
+        for _key, record in sorted(fresh.items()):
+            metrics.histogram("executor.round_elapsed").observe(record.elapsed_seconds)
 
 
 # ------------------------------------------------------------------- execution --

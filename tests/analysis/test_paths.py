@@ -14,6 +14,7 @@ class TestDeterministicPaths:
             "src/repro/consensus/commitment.py",
             "src/repro/gametheory/resilience.py",
             "src/repro/scenarios/sweep.py",
+            "src/repro/obs/trace.py",  # sim-time-only tracing is on the surface
             "src/repro/auctions/engine/kernel.py",  # nested packages inherit
             "/abs/checkout/src/repro/net/network.py",  # absolute paths classify too
         ],

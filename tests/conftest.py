@@ -38,6 +38,21 @@ def run_block_network(
     }
 
 
+@pytest.fixture(autouse=True)
+def _fresh_oversubscription_warnings():
+    """Reset the warn-once oversubscription dedupe between tests.
+
+    ``resolve_workers`` warns once per distinct ``(requested, cpus)``
+    resolution per process; without a reset, whichever test triggers a given
+    resolution first would swallow the warning every later test asserts on.
+    """
+    from repro.scenarios.dispatch import reset_oversubscription_warnings
+
+    reset_oversubscription_warnings()
+    yield
+    reset_oversubscription_warnings()
+
+
 @pytest.fixture
 def provider_ids():
     return [f"p{j}" for j in range(4)]

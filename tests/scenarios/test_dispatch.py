@@ -101,6 +101,30 @@ class TestResolveWorkers:
         assert "2 CPUs are available" in err
         assert "running 2" in err
 
+    def test_oversubscription_warns_once_per_resolution(self, monkeypatch, capsys):
+        # Audit harnesses re-resolve the same worker request several times in
+        # one invocation; the degrade warning must print exactly once per
+        # distinct (requested, available) resolution, not once per call.
+        _pin_cpus(monkeypatch, 2)
+        first = resolve_workers(4)
+        second = resolve_workers(4)
+        assert first == second  # the dedupe changes stderr, never the plan
+        err = capsys.readouterr().err
+        assert err.count("requested 4 workers") == 1
+        assert len(err.strip().splitlines()) == 1
+        # A different request is a different warning, and still prints.
+        resolve_workers(8)
+        assert "requested 8 workers" in capsys.readouterr().err
+
+    def test_warn_once_dedupe_is_resettable(self, monkeypatch, capsys):
+        from repro.scenarios.dispatch import reset_oversubscription_warnings
+
+        _pin_cpus(monkeypatch, 2)
+        resolve_workers(4)
+        reset_oversubscription_warnings()
+        resolve_workers(4)
+        assert capsys.readouterr().err.count("requested 4 workers") == 2
+
     def test_explicit_count_within_budget_is_silent(self, monkeypatch, capsys):
         _pin_cpus(monkeypatch, 8)
         plan = resolve_workers(3)

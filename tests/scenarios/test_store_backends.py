@@ -301,6 +301,43 @@ class TestStreamingSummary:
         assert summary["records"] == 8
         assert summary["columns"]["total_paid"]["count"] == 8
 
+    def test_empty_journal_summary_is_pinned_across_backends(self, tmp_path):
+        # A journal holding only its manifest (begun, nothing appended — e.g.
+        # a run interrupted before its first round) summarises to the same
+        # empty snapshot on every backend: zero records, empty column/flag/
+        # throughput tables, never a crash or a null-division.
+        sweep = _sweep()
+        summaries = {}
+        for fmt in FORMATS:
+            path = tmp_path / f"empty.{fmt}"
+            with ResultsStore(path, format=fmt) as store:
+                store.begin(sweep, total_rounds=8)
+            summaries[fmt] = ResultsStore(path).summary()
+        for fmt, payload in summaries.items():
+            assert payload.pop("backend") == fmt
+            assert payload.pop("path").endswith(f"empty.{fmt}")
+            assert payload["records"] == 0
+            assert payload["columns"] == {}
+            assert payload["flags"] == {}
+            assert payload["throughput"] == {}
+            assert payload["total_rounds"] == 8
+        assert summaries["jsonl"] == summaries["columnar"]
+
+    def test_empty_accumulator_snapshot_is_pinned(self):
+        # The empty-distribution contract shared by store summaries and the
+        # obs plane's histograms: count=0, every statistic None.
+        from repro.scenarios.aggregate import MetricAccumulator
+
+        assert MetricAccumulator().to_dict() == {
+            "count": 0,
+            "mean": None,
+            "min": None,
+            "max": None,
+            "p50": None,
+            "p90": None,
+            "p99": None,
+        }
+
     def test_summary_carries_throughput_from_elapsed_totals(self, tmp_path):
         path = tmp_path / "run.jsonl"
         run_sweep(_sweep(), store=path)
